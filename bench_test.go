@@ -1,0 +1,179 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one
+// testing.B benchmark per table/figure (see the DESIGN.md experiment
+// index). Each iteration runs one representative configuration of the
+// artifact on the emulated machine and reports the simulated machine
+// time as the custom metric "simms/op" alongside Go's wall-clock
+// numbers. Run the full sweeps with: go run ./cmd/packbench -exp all
+package packunpack_test
+
+import (
+	"testing"
+
+	"packunpack/internal/bench"
+	"packunpack/internal/comm"
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/pack"
+	"packunpack/internal/sim"
+)
+
+// benchRun executes one configuration per iteration and reports the
+// simulated time.
+func benchRun(b *testing.B, r bench.Run) {
+	b.Helper()
+	var simMS float64
+	for i := 0; i < b.N; i++ {
+		met, err := r.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		simMS = met.TotalMS
+	}
+	b.ReportMetric(simMS, "simms/op")
+}
+
+func layout1d(n, p, w int) *dist.Layout {
+	return dist.MustLayout(dist.Dim{N: n, P: p, W: w})
+}
+
+func layout2d(n, pg, w int) *dist.Layout {
+	return dist.MustLayout(dist.Dim{N: n, P: pg, W: w}, dist.Dim{N: n, P: pg, W: w})
+}
+
+// BenchmarkFig3LocalComputation: Figure 3 — the three PACK schemes'
+// local computation, representative point (1-D 16384, 50%, W=16).
+func BenchmarkFig3LocalComputation(b *testing.B) {
+	gen := mask.NewRandom(0.5, 1, 16384)
+	for _, scheme := range []pack.Scheme{pack.SchemeSSS, pack.SchemeCSS, pack.SchemeCMS} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			benchRun(b, bench.Run{Layout: layout1d(16384, 16, 16), Gen: gen,
+				Opt: pack.Options{Scheme: scheme}, Mode: bench.ModePack})
+		})
+	}
+}
+
+// BenchmarkFig4PackTotal: Figure 4 — total PACK time across block
+// sizes for the winning scheme (CMS).
+func BenchmarkFig4PackTotal(b *testing.B) {
+	gen := mask.NewRandom(0.5, 1, 16384)
+	for _, w := range []int{1, 16, 1024} {
+		b.Run(map[int]string{1: "cyclic", 16: "bc16", 1024: "block"}[w], func(b *testing.B) {
+			benchRun(b, bench.Run{Layout: layout1d(16384, 16, w), Gen: gen,
+				Opt: pack.Options{Scheme: pack.SchemeCMS}, Mode: bench.ModePack})
+		})
+	}
+}
+
+// BenchmarkFig5UnpackTotal: Figure 5 — UNPACK under both schemes.
+func BenchmarkFig5UnpackTotal(b *testing.B) {
+	gen := mask.NewRandom(0.5, 1, 16384)
+	for _, scheme := range []pack.Scheme{pack.SchemeSSS, pack.SchemeCSS} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			benchRun(b, bench.Run{Layout: layout1d(16384, 16, 16), Gen: gen,
+				Opt: pack.Options{Scheme: scheme}, Mode: bench.ModeUnpack})
+		})
+	}
+}
+
+// BenchmarkTable1Beta1: Table I — the SSS/CSS comparison at the
+// densities whose crossover the table reports (one low- and one
+// high-density point at a mid block size).
+func BenchmarkTable1Beta1(b *testing.B) {
+	for _, d := range []float64{0.1, 0.9} {
+		gen := mask.NewRandom(d, 1, 16384)
+		for _, scheme := range []pack.Scheme{pack.SchemeSSS, pack.SchemeCSS} {
+			b.Run(map[float64]string{0.1: "d10", 0.9: "d90"}[d]+"/"+scheme.String(), func(b *testing.B) {
+				benchRun(b, bench.Run{Layout: layout1d(16384, 16, 8), Gen: gen,
+					Opt: pack.Options{Scheme: scheme}, Mode: bench.ModePack})
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Redistribution: Table II — the cyclic-input pipelines.
+func BenchmarkTable2Redistribution(b *testing.B) {
+	gen := mask.NewRandom(0.5, 1, 256, 256)
+	l := layout2d(256, 4, 1)
+	b.Run("SSS", func(b *testing.B) {
+		benchRun(b, bench.Run{Layout: l, Gen: gen, Opt: pack.Options{Scheme: pack.SchemeSSS}, Mode: bench.ModePack})
+	})
+	b.Run("Red1", func(b *testing.B) {
+		benchRun(b, bench.Run{Layout: l, Gen: gen, Mode: bench.ModeRed1})
+	})
+	b.Run("Red2", func(b *testing.B) {
+		benchRun(b, bench.Run{Layout: l, Gen: gen, Mode: bench.ModeRed2})
+	})
+}
+
+// BenchmarkScale256: the Section 7 scaling experiment — same local
+// size on 16 vs 256 processors.
+func BenchmarkScale256(b *testing.B) {
+	b.Run("P16", func(b *testing.B) {
+		gen := mask.NewRandom(0.5, 1, 65536)
+		benchRun(b, bench.Run{Layout: layout1d(65536, 16, 16), Gen: gen,
+			Opt: pack.Options{Scheme: pack.SchemeCMS}, Mode: bench.ModePack})
+	})
+	b.Run("P256", func(b *testing.B) {
+		gen := mask.NewRandom(0.5, 1, 1048576)
+		benchRun(b, bench.Run{Layout: layout1d(1048576, 256, 16), Gen: gen,
+			Opt: pack.Options{Scheme: pack.SchemeCMS}, Mode: bench.ModePack})
+	})
+}
+
+// BenchmarkPrefixReductionSum: the direct/split comparison of
+// Section 5.1 / reference [6].
+func BenchmarkPrefixReductionSum(b *testing.B) {
+	for _, algo := range []comm.PRSAlgorithm{comm.PRSDirect, comm.PRSSplit} {
+		for _, m := range []int{64, 8192} {
+			b.Run(algo.String()+"/"+map[int]string{64: "M64", 8192: "M8192"}[m], func(b *testing.B) {
+				var simMS float64
+				for i := 0; i < b.N; i++ {
+					machine := sim.MustNew(sim.Config{Procs: 16, Params: sim.CM5Params()})
+					if err := machine.Run(func(p *sim.Proc) {
+						comm.World(p).PrefixReductionSum(make([]int, m), algo)
+					}); err != nil {
+						b.Fatal(err)
+					}
+					simMS = machine.MaxClock() / 1000
+				}
+				b.ReportMetric(simMS, "simms/op")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSchedule: linear permutation vs naive many-to-many.
+func BenchmarkAblationSchedule(b *testing.B) {
+	gen := mask.NewRandom(0.5, 1, 16384)
+	for name, opt := range map[string]comm.A2AOptions{
+		"linear": {}, "naive": {Naive: true}, "skipempty": {SkipEmpty: true},
+	} {
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, bench.Run{Layout: layout1d(16384, 16, 16), Gen: gen,
+				Opt: pack.Options{Scheme: pack.SchemeCMS, A2A: opt}, Mode: bench.ModePack})
+		})
+	}
+}
+
+// BenchmarkAblationScanPolicy: stop-at-count vs whole-slice rescans.
+func BenchmarkAblationScanPolicy(b *testing.B) {
+	gen := mask.NewRandom(0.3, 1, 16384)
+	for name, whole := range map[string]bool{"stop": false, "whole": true} {
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, bench.Run{Layout: layout1d(16384, 16, 64), Gen: gen,
+				Opt: pack.Options{Scheme: pack.SchemeCSS, WholeSliceScan: whole}, Mode: bench.ModePack})
+		})
+	}
+}
+
+// BenchmarkAblationCombinedPRS: combined prefix-reduction-sum vs
+// separate prefix + reduce collectives.
+func BenchmarkAblationCombinedPRS(b *testing.B) {
+	gen := mask.NewRandom(0.5, 1, 16384)
+	for name, sep := range map[string]bool{"combined": false, "separate": true} {
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, bench.Run{Layout: layout1d(16384, 16, 1), Gen: gen,
+				Opt: pack.Options{Scheme: pack.SchemeSSS, SeparatePrefixReduce: sep}, Mode: bench.ModePack})
+		})
+	}
+}

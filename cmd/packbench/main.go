@@ -1,0 +1,78 @@
+// Command packbench regenerates the tables and figures of the paper's
+// evaluation section on the emulated coarse-grained machine.
+//
+// Usage:
+//
+//	packbench -exp all            # everything (DESIGN.md experiment index)
+//	packbench -exp fig3           # one artifact: fig3|fig4|fig5|table1|table2|scale|prs|ablate
+//	packbench -exp table2 -quick  # trimmed parameter sets (seconds instead of minutes)
+//	packbench -list               # show the available experiment ids
+//
+// All reported times are virtual machine times under the two-level
+// cost model (CM-5-flavoured constants), in milliseconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"packunpack/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run (or 'all')")
+	quick := flag.Bool("quick", false, "use trimmed parameter sets")
+	seed := flag.Uint64("seed", 1, "seed for the random masks")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	outPath := flag.String("out", "", "also write the tables to this file")
+	flag.Parse()
+
+	suite := bench.NewSuite(*quick, *seed)
+	reg := suite.Registry()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range suite.ExperimentIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	start := time.Now()
+	var tables []*bench.Table
+	if *exp == "all" {
+		tables = suite.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			run, ok := reg[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "packbench: unknown experiment %q (known: %s)\n",
+					id, strings.Join(suite.ExperimentIDs(), ", "))
+				os.Exit(2)
+			}
+			tables = append(tables, run()...)
+		}
+	}
+
+	fmt.Printf("packbench: %s (quick=%v, seed=%d)\n", *exp, *quick, *seed)
+	fmt.Printf("machine model: CM-5-flavoured two-level cost model; times are virtual ms\n\n")
+	bench.RenderAll(os.Stdout, tables)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderAll(f, tables)
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	fmt.Printf("generated %d tables in %.1fs wall time\n", len(tables), time.Since(start).Seconds())
+}

@@ -1,0 +1,113 @@
+// Command packtrace runs one PACK (or UNPACK) configuration on the
+// emulated machine with timeline recording enabled and prints an ASCII
+// Gantt chart of every processor's virtual time, plus the per-phase
+// breakdown — a visual companion to the packbench tables.
+//
+// The array shape and distribution are given in HPF directive
+// notation:
+//
+//	packtrace -shape 16384 -dist "CYCLIC(16) ONTO 16" -scheme cms
+//	packtrace -shape 64x64 -dist "CYCLIC(2), CYCLIC(2) ONTO 4x4" -density 0.3
+//	packtrace -op unpack -scheme css -dist "CYCLIC ONTO 16"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/hpf"
+	"packunpack/internal/mask"
+	"packunpack/internal/pack"
+	"packunpack/internal/sim"
+	"packunpack/internal/trace"
+)
+
+func parseShape(s string) ([]int, error) {
+	var shape []int
+	for _, tok := range strings.Split(strings.ToLower(s), "x") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad shape extent %q", tok)
+		}
+		shape = append(shape, v)
+	}
+	return shape, nil
+}
+
+func main() {
+	shapeFlag := flag.String("shape", "16384", "global array shape, e.g. 16384 or 64x64 (dimension 0 first)")
+	distFlag := flag.String("dist", "CYCLIC(16) ONTO 16", "HPF DISTRIBUTE directive, e.g. \"CYCLIC(2), BLOCK ONTO 4x4\"")
+	density := flag.Float64("density", 0.5, "mask density in [0,1]")
+	schemeName := flag.String("scheme", "cms", "scheme: sss|css|cms")
+	op := flag.String("op", "pack", "operation: pack|unpack")
+	width := flag.Int("width", 72, "gantt chart width in columns")
+	seed := flag.Uint64("seed", 1, "mask seed")
+	flag.Parse()
+
+	var scheme pack.Scheme
+	switch *schemeName {
+	case "sss":
+		scheme = pack.SchemeSSS
+	case "css":
+		scheme = pack.SchemeCSS
+	case "cms":
+		scheme = pack.SchemeCMS
+	default:
+		log.Fatalf("unknown scheme %q", *schemeName)
+	}
+	if *op == "unpack" && scheme == pack.SchemeCMS {
+		log.Fatalf("UNPACK supports sss and css only")
+	}
+
+	shape, err := parseShape(*shapeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, err := hpf.ParseDist(*distFlag, shape...)
+	if err != nil {
+		log.Fatalf("invalid distribution: %v", err)
+	}
+	gen := mask.NewRandom(*density, *seed, shape...)
+
+	machine, err := sim.New(sim.Config{Procs: layout.Procs(), Params: sim.CM5Params(), Record: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := mask.Count(gen, shape...)
+	vec, err := dist.NewVectorDist(size, layout.Procs(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = machine.Run(func(proc *sim.Proc) {
+		lm := mask.FillLocal(layout, proc.Rank(), gen)
+		a := make([]int, layout.LocalSize())
+		for i := range a {
+			a[i] = proc.Rank()*layout.LocalSize() + i
+		}
+		var err error
+		if *op == "unpack" {
+			v := make([]int, vec.LocalLen(proc.Rank()))
+			_, err = pack.Unpack(proc, layout, v, size, lm, a, pack.Options{Scheme: scheme})
+		} else {
+			_, err = pack.Pack(proc, layout, a, lm, pack.Options{Scheme: scheme})
+		}
+		if err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s %s, shape %s, %s (P=%d), density %.0f%%, Size=%d\n\n",
+		*op, scheme, *shapeFlag, hpf.Format(layout.Dims), layout.Procs(), *density*100, size)
+	trace.Gantt(os.Stdout, machine.Spans(), *width)
+	fmt.Println()
+	trace.Summary(os.Stdout, machine.Stats())
+	fmt.Printf("\ntotal simulated time: %.3f ms\n", machine.MaxClock()/1000)
+}

@@ -1,0 +1,64 @@
+// Streamcompact: 1-D stream compaction — the workload the paper's
+// experiments sweep — comparing the three PACK schemes across mask
+// densities and block sizes on the emulated machine.
+//
+// It prints a small version of the paper's Figure 4 data: total PACK
+// time per scheme, so you can watch the SSS -> CMS crossover move with
+// the block size.
+//
+// Run with: go run ./examples/streamcompact
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"packunpack"
+)
+
+const (
+	n = 16384
+	p = 16
+)
+
+func measure(w int, density float64, scheme packunpack.Scheme) float64 {
+	machine := packunpack.NewMachine(packunpack.Config{Procs: p, Params: packunpack.CM5Params()})
+	layout := packunpack.MustLayout(packunpack.Dim{N: n, P: p, W: w})
+	gen := packunpack.RandomMask(density, 7, n)
+	err := machine.Run(func(proc *packunpack.Proc) {
+		local := make([]int, layout.LocalSize())
+		for i := range local {
+			local[i] = proc.Rank()*layout.LocalSize() + i
+		}
+		m := packunpack.FillLocalMask(layout, proc.Rank(), gen)
+		if _, err := packunpack.Pack(proc, layout, local, m, packunpack.Options{Scheme: scheme}); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return machine.MaxClock() / 1000
+}
+
+func main() {
+	fmt.Printf("stream compaction, N=%d, P=%d (times in simulated ms)\n\n", n, p)
+	for _, density := range []float64{0.1, 0.5, 0.9} {
+		fmt.Printf("density %.0f%%:\n", density*100)
+		fmt.Printf("  %6s  %8s  %8s  %8s  winner\n", "W", "SSS", "CSS", "CMS")
+		for _, w := range []int{1, 4, 16, 64, 256, 1024} {
+			sss := measure(w, density, packunpack.SSS)
+			css := measure(w, density, packunpack.CSS)
+			cms := measure(w, density, packunpack.CMS)
+			winner := "SSS"
+			if css < sss && css <= cms {
+				winner = "CSS"
+			} else if cms < sss && cms < css {
+				winner = "CMS"
+			}
+			fmt.Printf("  %6d  %8.3f  %8.3f  %8.3f  %s\n", w, sss, css, cms, winner)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected: SSS wins at W=1 (cyclic); CMS takes over as W and density grow.")
+}

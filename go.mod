@@ -1,0 +1,3 @@
+module packunpack
+
+go 1.24

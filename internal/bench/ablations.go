@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+
+	"packunpack/internal/comm"
+	"packunpack/internal/mask"
+	"packunpack/internal/pack"
+)
+
+// Ablations measures the design choices DESIGN.md calls out: the
+// linear permutation schedule, the stop-early slice rescan, the
+// combined prefix-reduction-sum primitive, and the self-message
+// policy.
+func (s Suite) Ablations() []*Table {
+	return []*Table{
+		s.ablationSchedule(),
+		s.ablationScanPolicy(),
+		s.ablationCombinedPRS(),
+		s.ablationSelfSend(),
+		s.ablationVectorDist(),
+		s.ablationUnpackRedist(),
+	}
+}
+
+// ablationVectorDist measures the Section 6.2 footnote: the compact
+// message scheme degrades as the result vector's block size shrinks
+// (segments fragment at every vector block boundary).
+func (s Suite) ablationVectorDist() *Table {
+	n := 65536
+	if s.Quick {
+		n = 4096
+	}
+	shape := []int{n}
+	t := &Table{
+		ID:      "ablate",
+		Title:   fmt.Sprintf("Ablation: result vector distribution, CMS PACK, 1-D N=%d, P=16, W=64", n),
+		Columns: []string{"vector W", "total ms", "m2m ms", "words sent"},
+		Notes: []string{
+			"paper, Section 6.2: segments (and header words) grow as the result vector's blocks shrink",
+		},
+	}
+	gen := mask.NewRandom(0.7, s.Seed+11, shape...)
+	for _, wv := range []int{0, 64, 8, 1} {
+		met := s.measure(Run{Layout: oneD(n, 16, 64), Gen: gen,
+			Opt: pack.Options{Scheme: pack.SchemeCMS, VectorW: wv}, Mode: ModePack})
+		label := fmt.Sprint(wv)
+		if wv == 0 {
+			label = "block"
+		}
+		t.AddRow(label, ms(met.TotalMS), ms(met.M2MMS), fmt.Sprint(met.Words))
+	}
+	return t
+}
+
+// ablationUnpackRedist measures the Section 6.3 claim that the
+// redistribution idea is not feasible for UNPACK (it needs two
+// redistribution steps because the result array must come back in the
+// original distribution).
+func (s Suite) ablationUnpackRedist() *Table {
+	n := 16384
+	if s.Quick {
+		n = 4096
+	}
+	shape := []int{n}
+	t := &Table{
+		ID:      "ablate",
+		Title:   fmt.Sprintf("Ablation: UNPACK on a cyclic input — direct vs whole-array redistribution, 1-D N=%d, P=16 (ms)", n),
+		Columns: []string{"Mask", "direct SSS", "direct CSS", "redistribute"},
+		Notes: []string{
+			"paper, Section 6.3: redistribution is not a feasible option for UNPACK (two redistribution steps)",
+		},
+	}
+	for _, msk := range s.maskSpecs(shape) {
+		l := oneD(n, 16, 1)
+		sss := s.measure(Run{Layout: l, Gen: msk.gen, Opt: pack.Options{Scheme: pack.SchemeSSS}, Mode: ModeUnpack})
+		css := s.measure(Run{Layout: l, Gen: msk.gen, Opt: pack.Options{Scheme: pack.SchemeCSS}, Mode: ModeUnpack})
+		red := s.measure(Run{Layout: l, Gen: msk.gen, Mode: ModeUnpackRedist})
+		t.AddRow(msk.name, ms(sss.TotalMS), ms(css.TotalMS), ms(red.TotalMS))
+	}
+	return t
+}
+
+// ablationSchedule compares the linear permutation schedule against
+// the naive unscheduled exchange and the skip-empty variant, on the
+// many-to-many stage of CMS PACK.
+func (s Suite) ablationSchedule() *Table {
+	n := 65536
+	if s.Quick {
+		n = 4096
+	}
+	shape := []int{n}
+	t := &Table{
+		ID:      "ablate",
+		Title:   fmt.Sprintf("Ablation: many-to-many scheduling, CMS PACK, 1-D N=%d, P=16, W=16 (ms)", n),
+		Columns: []string{"Mask", "linear-perm total", "linear m2m", "naive total", "naive m2m", "skip-empty m2m"},
+		Notes: []string{
+			"linear permutation spreads start-ups over contention-free rounds; skip-empty models free count knowledge",
+		},
+	}
+	for _, msk := range s.maskSpecs(shape) {
+		l := oneD(n, 16, 16)
+		lin := s.measure(Run{Layout: l, Gen: msk.gen, Opt: pack.Options{Scheme: pack.SchemeCMS}, Mode: ModePack})
+		nai := s.measure(Run{Layout: l, Gen: msk.gen, Opt: pack.Options{Scheme: pack.SchemeCMS, A2A: comm.A2AOptions{Naive: true}}, Mode: ModePack})
+		skp := s.measure(Run{Layout: l, Gen: msk.gen, Opt: pack.Options{Scheme: pack.SchemeCMS, A2A: comm.A2AOptions{SkipEmpty: true}}, Mode: ModePack})
+		t.AddRow(msk.name, ms(lin.TotalMS), ms(lin.M2MMS), ms(nai.TotalMS), ms(nai.M2MMS), ms(skp.M2MMS))
+	}
+	return t
+}
+
+// ablationScanPolicy compares the two slice rescan methods of Section
+// 6.1: stop once all packed elements of the slice are collected
+// (method 1, the paper's measured winner) versus scanning the whole
+// slice (method 2).
+func (s Suite) ablationScanPolicy() *Table {
+	n := 65536
+	if s.Quick {
+		n = 4096
+	}
+	shape := []int{n}
+	t := &Table{
+		ID:      "ablate",
+		Title:   fmt.Sprintf("Ablation: slice rescan policy, CSS PACK local computation, 1-D N=%d, P=16, W=64 (ms)", n),
+		Columns: []string{"Mask", "stop-at-count", "whole-slice"},
+		Notes: []string{
+			"the paper found method 1 slightly better; the gap narrows as density grows",
+		},
+	}
+	for _, msk := range s.maskSpecs(shape) {
+		l := oneD(n, 16, 64)
+		stop := s.measure(Run{Layout: l, Gen: msk.gen, Opt: pack.Options{Scheme: pack.SchemeCSS}, Mode: ModePack})
+		whole := s.measure(Run{Layout: l, Gen: msk.gen, Opt: pack.Options{Scheme: pack.SchemeCSS, WholeSliceScan: true}, Mode: ModePack})
+		t.AddRow(msk.name, ms(stop.LocalMS), ms(whole.LocalMS))
+	}
+	return t
+}
+
+// ablationCombinedPRS compares the combined prefix-reduction-sum
+// primitive against running the prefix-sum and the reduction-sum
+// separately (Section 5.1's motivation: halve the start-up cost).
+func (s Suite) ablationCombinedPRS() *Table {
+	n := 65536
+	if s.Quick {
+		n = 4096
+	}
+	shape := []int{n}
+	t := &Table{
+		ID:      "ablate",
+		Title:   fmt.Sprintf("Ablation: combined vs separate prefix/reduction, SSS PACK, 1-D N=%d, P=16 (prs ms)", n),
+		Columns: []string{"W", "combined", "separate"},
+		Notes: []string{
+			"cyclic distributions have the longest PRS vectors, so the gap is largest at W=1",
+		},
+	}
+	gen := mask.NewRandom(0.5, s.Seed+7, shape...)
+	for _, w := range []int{1, 16, n / 16} {
+		l := oneD(n, 16, w)
+		combined := s.measure(Run{Layout: l, Gen: gen, Opt: pack.Options{Scheme: pack.SchemeSSS}, Mode: ModePack})
+		separate := s.measure(Run{Layout: l, Gen: gen, Opt: pack.Options{Scheme: pack.SchemeSSS, SeparatePrefixReduce: true}, Mode: ModePack})
+		t.AddRow(fmt.Sprint(w), ms(combined.PRSMS), ms(separate.PRSMS))
+	}
+	return t
+}
+
+// ablationSelfSend compares the paper's policy of routing self
+// messages through the network against shortcutting them to free local
+// copies, under block distribution where most data stays home.
+func (s Suite) ablationSelfSend() *Table {
+	n := 65536
+	if s.Quick {
+		n = 4096
+	}
+	shape := []int{n}
+	t := &Table{
+		ID:      "ablate",
+		Title:   fmt.Sprintf("Ablation: self-message policy, CMS PACK m2m time, 1-D N=%d, P=16, block distribution (ms)", n),
+		Columns: []string{"Mask", "self costed (paper)", "self free"},
+		Notes: []string{
+			"under block distribution most packed elements stay on their processor, so the self-message policy matters most there",
+		},
+	}
+	for _, msk := range s.maskSpecs(shape) {
+		l := oneD(n, 16, n/16)
+		costed := s.measure(Run{Layout: l, Gen: msk.gen, Opt: pack.Options{Scheme: pack.SchemeCMS}, Mode: ModePack})
+		free := s.measure(Run{Layout: l, Gen: msk.gen, Opt: pack.Options{Scheme: pack.SchemeCMS}, Mode: ModePack, SelfSendFree: true})
+		t.AddRow(msk.name, ms(costed.M2MMS), ms(free.M2MMS))
+	}
+	return t
+}

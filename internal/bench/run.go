@@ -1,0 +1,286 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (Section 7): workload
+// definitions, parameter sweeps, scheme comparisons, and text rendering
+// of the measured rows/series.
+//
+// All times are virtual machine times from the sim cost model, reported
+// in milliseconds like the paper. The DESIGN.md experiment index maps
+// each experiment id here to the paper artifact it reproduces.
+package bench
+
+import (
+	"fmt"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/pack"
+	"packunpack/internal/ranking"
+	"packunpack/internal/redist"
+	"packunpack/internal/sim"
+)
+
+// Mode selects the operation a Run measures.
+type Mode int
+
+const (
+	// ModePack measures plain parallel PACK.
+	ModePack Mode = iota
+	// ModeUnpack measures parallel UNPACK (N' = Size).
+	ModeUnpack
+	// ModeRed1 measures the Red.1 pipeline: redistribution of the
+	// selected data to block layout, then CMS PACK.
+	ModeRed1
+	// ModeRed2 measures the Red.2 pipeline: redistribution of the
+	// whole arrays, then CMS PACK.
+	ModeRed2
+	// ModeUnpackRedist measures UNPACK via whole-array redistribution
+	// (the Section 6.3 idea the paper deems infeasible for UNPACK).
+	ModeUnpackRedist
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePack:
+		return "pack"
+	case ModeUnpack:
+		return "unpack"
+	case ModeRed1:
+		return "red1"
+	case ModeRed2:
+		return "red2"
+	case ModeUnpackRedist:
+		return "unpack-redist"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Metrics is the virtual-time breakdown of one measured operation, in
+// milliseconds, taken as the per-component maximum over processors
+// (the paper reports the slowest processor per stage).
+type Metrics struct {
+	// TotalMS is the end-to-end time (maximum final clock).
+	TotalMS float64
+	// LocalMS is the local computation time as the paper defines it:
+	// all local work excluding the prefix-reduction-sum (ranking scans
+	// and arithmetic, send-list construction, message composition and
+	// decomposition).
+	LocalMS float64
+	// PRSMS is the time spent in the vector prefix-reduction-sum
+	// (computation + communication).
+	PRSMS float64
+	// M2MMS is the many-to-many personalized communication time of
+	// the redistribution stage.
+	M2MMS float64
+	// RedistMS is the preliminary array redistribution communication
+	// time (Red.1/Red.2 pipelines only).
+	RedistMS float64
+	// Size is the number of selected elements.
+	Size int
+	// Words is the total number of machine words sent by all
+	// processors.
+	Words int64
+	// Msgs is the total number of messages sent.
+	Msgs int64
+}
+
+// metricsFrom extracts Metrics from the most recent machine run.
+func metricsFrom(m *sim.Machine) Metrics {
+	var out Metrics
+	out.TotalMS = m.MaxClock() / 1000
+	for _, s := range m.Stats() {
+		prs := s.Phases[ranking.PhasePRS]
+		if local := (s.Comp - prs.Comp) / 1000; local > out.LocalMS {
+			out.LocalMS = local
+		}
+		if v := (prs.Comp + prs.Comm) / 1000; v > out.PRSMS {
+			out.PRSMS = v
+		}
+		m2m := s.Phases[pack.PhaseM2M]
+		if v := (m2m.Comp + m2m.Comm) / 1000; v > out.M2MMS {
+			out.M2MMS = v
+		}
+		rd := s.Phases[redist.PhaseRedist]
+		if v := (rd.Comp + rd.Comm) / 1000; v > out.RedistMS {
+			out.RedistMS = v
+		}
+		out.Words += s.WordsSent
+		out.Msgs += s.MsgsSent
+	}
+	return out
+}
+
+// Run describes one measured operation instance.
+type Run struct {
+	Layout *dist.Layout
+	Gen    mask.Gen
+	Opt    pack.Options
+	Mode   Mode
+	// Params are the machine constants; zero value means CM5Params.
+	Params sim.Params
+	// SelfSendFree shortcuts self messages to zero cost (ablation of
+	// the paper's policy of routing them through the network).
+	SelfSendFree bool
+	// Verify additionally checks the result against the sequential
+	// oracle (slower; used by the harness tests).
+	Verify bool
+}
+
+// fillLocalData deterministically fills a processor's local data array;
+// the values encode (rank, offset) so misrouted elements are
+// detectable.
+func fillLocalData(rank, n int) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = rank*(1<<24) + i
+	}
+	return a
+}
+
+// Execute runs the operation on a fresh machine and returns its
+// metrics.
+func (r Run) Execute() (Metrics, error) {
+	params := r.Params
+	if params == (sim.Params{}) {
+		params = sim.CM5Params()
+	}
+	machine, err := sim.New(sim.Config{Procs: r.Layout.Procs(), Params: params, SelfSendFree: r.SelfSendFree})
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	// UNPACK needs the vector length up front; the mask generators are
+	// deterministic, so the harness (not the timed machine) counts.
+	size := 0
+	if r.Mode == ModeUnpack || r.Mode == ModeUnpackRedist {
+		shape := make([]int, r.Layout.Rank())
+		for i, d := range r.Layout.Dims {
+			shape[i] = d.N
+		}
+		size = mask.Count(r.Gen, shape...)
+	}
+
+	var firstErr error
+	results := make([]*pack.Result[int], r.Layout.Procs())
+	unpacked := make([]*pack.UnpackResult[int], r.Layout.Procs())
+	runErr := machine.Run(func(p *sim.Proc) {
+		lm := mask.FillLocal(r.Layout, p.Rank(), r.Gen)
+		a := fillLocalData(p.Rank(), r.Layout.LocalSize())
+		var err error
+		switch r.Mode {
+		case ModePack:
+			results[p.Rank()], err = pack.Pack(p, r.Layout, a, lm, r.Opt)
+		case ModeUnpack:
+			vec, verr := dist.NewVectorDist(size, p.NProcs(), r.Opt.VectorW)
+			if verr != nil {
+				err = verr
+				break
+			}
+			v := fillLocalData(p.Rank()+1000, vec.LocalLen(p.Rank()))
+			unpacked[p.Rank()], err = pack.Unpack(p, r.Layout, v, size, lm, a, r.Opt)
+		case ModeRed1:
+			results[p.Rank()], err = redist.PackRedistSelected(p, r.Layout, a, lm, r.Opt)
+		case ModeRed2:
+			results[p.Rank()], err = redist.PackRedistWhole(p, r.Layout, a, lm, r.Opt)
+		case ModeUnpackRedist:
+			vec, verr := dist.NewVectorDist(size, p.NProcs(), r.Opt.VectorW)
+			if verr != nil {
+				err = verr
+				break
+			}
+			v := fillLocalData(p.Rank()+1000, vec.LocalLen(p.Rank()))
+			unpacked[p.Rank()], err = redist.UnpackRedistWhole(p, r.Layout, v, size, lm, a, r.Opt)
+		default:
+			err = fmt.Errorf("bench: unknown mode %v", r.Mode)
+		}
+		if err != nil && p.Rank() == 0 {
+			firstErr = err
+		}
+		if err != nil {
+			panic(err)
+		}
+	})
+	if firstErr != nil {
+		return Metrics{}, firstErr
+	}
+	if runErr != nil {
+		return Metrics{}, runErr
+	}
+
+	met := metricsFrom(machine)
+	if r.Mode == ModeUnpack || r.Mode == ModeUnpackRedist {
+		met.Size = size
+	} else {
+		met.Size = results[0].Ranking.Size
+	}
+	if r.Verify {
+		if err := r.verify(results, unpacked, size); err != nil {
+			return met, err
+		}
+	}
+	return met, nil
+}
+
+// verify checks the distributed result against the sequential oracle.
+func (r Run) verify(results []*pack.Result[int], unpacked []*pack.UnpackResult[int], size int) error {
+	gmask := mask.FillGlobal(r.Layout, r.Gen)
+	locals := make([][]int, r.Layout.Procs())
+	for rank := range locals {
+		locals[rank] = fillLocalData(rank, r.Layout.LocalSize())
+	}
+	global := dist.Gather(r.Layout, locals)
+
+	if r.Mode == ModeUnpack || r.Mode == ModeUnpackRedist {
+		vGlobal := make([]int, size)
+		vec, err := dist.NewVectorDist(size, r.Layout.Procs(), r.Opt.VectorW)
+		if err != nil {
+			return err
+		}
+		for rank := 0; rank < r.Layout.Procs(); rank++ {
+			v := fillLocalData(rank+1000, vec.LocalLen(rank))
+			for i, val := range v {
+				vGlobal[vec.ToGlobal(rank, i)] = val
+			}
+		}
+		want := make([]int, len(global))
+		ri := 0
+		for i, sel := range gmask {
+			if sel {
+				want[i] = vGlobal[ri]
+				ri++
+			} else {
+				want[i] = global[i]
+			}
+		}
+		aLocals := make([][]int, len(unpacked))
+		for rank, u := range unpacked {
+			aLocals[rank] = u.A
+		}
+		got := dist.Gather(r.Layout, aLocals)
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("bench: unpack verify failed at %d: got %d want %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+
+	var want []int
+	for i, sel := range gmask {
+		if sel {
+			want = append(want, global[i])
+		}
+	}
+	var got []int
+	for _, res := range results {
+		got = append(got, res.V...)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("bench: pack verify failed: got %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("bench: pack verify failed at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

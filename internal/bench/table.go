@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: the rows/series of one of
+// the paper's tables or figures.
+type Table struct {
+	// ID is the experiment id from the DESIGN.md index (fig3, table1,
+	// ...); several tables may share an id (one per sub-plot).
+	ID string
+	// Title describes the artifact and the fixed parameters.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold the formatted cells.
+	Rows [][]string
+	// Notes are free-form footnotes (paper-shape expectations, etc.).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== [%s] %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 2
+	}
+	fmt.Fprintln(w, "  "+strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderAll renders a sequence of tables.
+func RenderAll(w io.Writer, tables []*Table) {
+	for _, t := range tables {
+		t.Render(w)
+	}
+}
+
+// ms formats a millisecond value like the paper's tables.
+func ms(v float64) string {
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,93 @@
+package dist
+
+import "testing"
+
+// FuzzDimRoundTrip fuzzes the per-dimension block-cyclic maps under
+// the relaxed (no divisibility) rules: ToGlobal(ToLocal(g)) == g and
+// locals stay within the advertised ragged lengths.
+func FuzzDimRoundTrip(f *testing.F) {
+	f.Add(16, 4, 2, 7)
+	f.Add(17, 4, 2, 16)
+	f.Add(1, 1, 1, 0)
+	f.Add(1000, 7, 13, 999)
+	f.Fuzz(func(t *testing.T, n, p, w, g int) {
+		n = n%2000 + 1
+		if n < 1 {
+			n = 1
+		}
+		p = p%16 + 1
+		if p < 1 {
+			p = 1
+		}
+		w = w%32 + 1
+		if w < 1 {
+			w = 1
+		}
+		d := Dim{N: n, P: p, W: w}
+		if err := d.ValidateRelaxed(); err != nil {
+			t.Skip()
+		}
+		g = ((g % n) + n) % n
+		proc, local := d.ToLocal(g)
+		if proc < 0 || proc >= p {
+			t.Fatalf("dim %+v: owner(%d) = %d", d, g, proc)
+		}
+		if local < 0 || local >= d.LocalLenAt(proc) {
+			t.Fatalf("dim %+v: local(%d) = %d outside [0,%d)", d, g, local, d.LocalLenAt(proc))
+		}
+		if back := d.ToGlobal(proc, local); back != g {
+			t.Fatalf("dim %+v: round trip %d -> %d", d, g, back)
+		}
+		pd := d.Padded()
+		if err := pd.Validate(); err != nil {
+			t.Fatalf("padded dim %+v invalid: %v", pd, err)
+		}
+		p2, l2 := pd.ToLocal(g)
+		if p2 != proc || l2 != local {
+			t.Fatalf("padding moved element %d", g)
+		}
+	})
+}
+
+// FuzzVectorDist fuzzes the remainder-tolerant vector distribution.
+func FuzzVectorDist(f *testing.F) {
+	f.Add(10, 4, 0, 9)
+	f.Add(17, 4, 3, 0)
+	f.Add(1, 8, 1, 0)
+	f.Fuzz(func(t *testing.T, size, p, w, r int) {
+		size = ((size % 500) + 500) % 500
+		p = p%12 + 1
+		if p < 1 {
+			p = 1
+		}
+		w = ((w % 9) + 9) % 9
+		v, err := NewVectorDist(size, p, w)
+		if err != nil {
+			t.Skip()
+		}
+		total := 0
+		for rank := 0; rank < v.P; rank++ {
+			total += v.LocalLen(rank)
+		}
+		if total != v.Size {
+			t.Fatalf("%+v: local lengths sum to %d", v, total)
+		}
+		if size == 0 {
+			return
+		}
+		r = ((r % size) + size) % size
+		rank, local := v.Owner(r)
+		if v.ToGlobal(rank, local) != r {
+			t.Fatalf("%+v: round trip failed at %d", v, r)
+		}
+		end := v.BlockRunEnd(r)
+		if end <= r || end > v.Size {
+			t.Fatalf("%+v: BlockRunEnd(%d) = %d", v, r, end)
+		}
+		for s := r; s < end; s++ {
+			if sr, _ := v.Owner(s); sr != rank {
+				t.Fatalf("%+v: run from %d crosses owners at %d", v, r, s)
+			}
+		}
+	})
+}

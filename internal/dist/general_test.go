@@ -1,0 +1,160 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateRelaxed(t *testing.T) {
+	if err := (Dim{N: 17, P: 4, W: 2}).ValidateRelaxed(); err != nil {
+		t.Errorf("non-divisible dimension rejected: %v", err)
+	}
+	if err := (Dim{N: 17, P: 4, W: 200}).ValidateRelaxed(); err != nil {
+		t.Errorf("oversize block rejected under relaxed rules: %v", err)
+	}
+	for _, d := range []Dim{{N: 0, P: 1, W: 1}, {N: 1, P: 0, W: 1}, {N: 1, P: 1, W: 0}} {
+		if err := d.ValidateRelaxed(); err == nil {
+			t.Errorf("degenerate dimension %+v accepted", d)
+		}
+	}
+}
+
+func TestLocalLenAtPartitions(t *testing.T) {
+	dims := []Dim{
+		{N: 17, P: 4, W: 2},
+		{N: 10, P: 4, W: 8},
+		{N: 29, P: 3, W: 4},
+		{N: 16, P: 4, W: 2}, // divisible: uniform
+		{N: 1, P: 5, W: 3},
+	}
+	for _, d := range dims {
+		total := 0
+		counts := make([]int, d.P)
+		for g := 0; g < d.N; g++ {
+			proc, local := d.ToLocal(g)
+			counts[proc]++
+			if back := d.ToGlobal(proc, local); back != g {
+				t.Fatalf("%+v: ToGlobal(ToLocal(%d)) = %d", d, g, back)
+			}
+		}
+		for coord := 0; coord < d.P; coord++ {
+			if got := d.LocalLenAt(coord); got != counts[coord] {
+				t.Fatalf("%+v: LocalLenAt(%d) = %d, actual ownership %d", d, coord, got, counts[coord])
+			}
+			total += counts[coord]
+		}
+		if total != d.N {
+			t.Fatalf("%+v: ownership not a partition", d)
+		}
+	}
+}
+
+func TestLocalLenAtMatchesUniformCase(t *testing.T) {
+	d := Dim{N: 24, P: 4, W: 2}
+	for coord := 0; coord < 4; coord++ {
+		if d.LocalLenAt(coord) != d.L() {
+			t.Fatalf("divisible dimension should be uniform")
+		}
+	}
+}
+
+func TestPadded(t *testing.T) {
+	d := Dim{N: 17, P: 4, W: 2}
+	pd := d.Padded()
+	if pd.N != 24 { // ceil(17/8)*8
+		t.Fatalf("Padded N = %d, want 24", pd.N)
+	}
+	if err := pd.Validate(); err != nil {
+		t.Fatalf("padded dimension fails strict validation: %v", err)
+	}
+	// Owners and local indices of real elements are unchanged.
+	for g := 0; g < d.N; g++ {
+		p1, l1 := d.ToLocal(g)
+		p2, l2 := pd.ToLocal(g)
+		if p1 != p2 || l1 != l2 {
+			t.Fatalf("padding moved element %d: (%d,%d) vs (%d,%d)", g, p1, l1, p2, l2)
+		}
+	}
+	// Already-divisible dimensions are unchanged.
+	u := Dim{N: 16, P: 4, W: 2}
+	if u.Padded() != u {
+		t.Fatalf("divisible dimension changed by Padded")
+	}
+}
+
+func TestPaddedProperty(t *testing.T) {
+	f := func(n uint16, p, w uint8) bool {
+		d := Dim{N: int(n%300) + 1, P: int(p%6) + 1, W: int(w%9) + 1}
+		pd := d.Padded()
+		if pd.Validate() != nil || pd.N < d.N || pd.N%pd.S() != 0 {
+			return false
+		}
+		return pd.N-d.N < d.S()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralLayoutScatterGather(t *testing.T) {
+	layouts := []*GeneralLayout{
+		MustGeneralLayout(Dim{N: 17, P: 4, W: 2}),
+		MustGeneralLayout(Dim{N: 7, P: 2, W: 2}, Dim{N: 10, P: 3, W: 2}),
+		MustGeneralLayout(Dim{N: 5, P: 2, W: 1}, Dim{N: 4, P: 3, W: 2}, Dim{N: 3, P: 1, W: 2}),
+	}
+	for _, gl := range layouts {
+		global := make([]int, gl.GlobalSize())
+		for i := range global {
+			global[i] = i * 13
+		}
+		locals := ScatterGeneral(gl, global)
+		total := 0
+		for r, loc := range locals {
+			if len(loc) != gl.LocalSizeAt(r) {
+				t.Fatalf("rank %d local size %d, want %d", r, len(loc), gl.LocalSizeAt(r))
+			}
+			total += len(loc)
+		}
+		if total != gl.GlobalSize() {
+			t.Fatalf("locals cover %d of %d elements", total, gl.GlobalSize())
+		}
+		if back := GatherGeneral(gl, locals); !reflect.DeepEqual(back, global) {
+			t.Fatalf("GatherGeneral(ScatterGeneral(x)) != x")
+		}
+	}
+}
+
+func TestGeneralLayoutErrors(t *testing.T) {
+	if _, err := NewGeneralLayout(); err == nil {
+		t.Error("empty general layout accepted")
+	}
+	if _, err := NewGeneralLayout(Dim{N: 0, P: 1, W: 1}); err == nil {
+		t.Error("degenerate dimension accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGeneralLayout did not panic")
+		}
+	}()
+	MustGeneralLayout(Dim{N: 0, P: 1, W: 1})
+}
+
+func TestGeneralLayoutLocalShapes(t *testing.T) {
+	gl := MustGeneralLayout(Dim{N: 7, P: 2, W: 2}, Dim{N: 10, P: 3, W: 2})
+	// Dimension 0: blocks [0,1][2,3][4,5][6]; coord 0 owns blocks 0,2
+	// (indices 0,1,4,5) = 4; coord 1 owns blocks 1,3 (2,3,6) = 3.
+	// Dimension 1: blocks of 2 over 3 procs: coord 0 -> blocks 0,3
+	// (0,1,6,7)=4; coord 1 -> blocks 1,4 (2,3,8,9)=4; coord 2 -> block
+	// 2 (4,5)=2.
+	wantShapes := map[int][]int{
+		0: {4, 4}, 1: {3, 4},
+		2: {4, 4}, 3: {3, 4},
+		4: {4, 2}, 5: {3, 2},
+	}
+	for rank, want := range wantShapes {
+		if got := gl.LocalShapeAt(rank); !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank %d shape %v, want %v", rank, got, want)
+		}
+	}
+}

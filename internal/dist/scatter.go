@@ -1,0 +1,57 @@
+package dist
+
+// Scatter splits a flat row-major global array into the per-processor
+// local arrays induced by the layout: result[r] is processor r's local
+// buffer in local row-major order. It is a test/setup helper — the
+// emulated processors exchange data through the machine, not through
+// this function.
+func Scatter[T any](l *Layout, global []T) [][]T {
+	if len(global) != l.GlobalSize() {
+		panic("dist: Scatter global buffer of wrong size")
+	}
+	out := make([][]T, l.Procs())
+	for r := range out {
+		out[r] = make([]T, l.LocalSize())
+	}
+	walkOwners(l, func(pos, rank, local int) {
+		out[rank][local] = global[pos]
+	})
+	return out
+}
+
+// Gather is the inverse of Scatter: it reassembles the flat global
+// array from per-processor local buffers.
+func Gather[T any](l *Layout, locals [][]T) []T {
+	if len(locals) != l.Procs() {
+		panic("dist: Gather needs one local buffer per processor")
+	}
+	global := make([]T, l.GlobalSize())
+	walkOwners(l, func(pos, rank, local int) {
+		global[pos] = locals[rank][local]
+	})
+	return global
+}
+
+// walkOwners visits every global position in row-major order together
+// with its (owner rank, local offset) pair, using incremental odometer
+// arithmetic instead of per-element map calls.
+func walkOwners(l *Layout, visit func(pos, rank, local int)) {
+	d := l.Rank()
+	n := l.GlobalSize()
+	global := make([]int, d)
+	coords := make([]int, d)
+	locals := make([]int, d)
+	for pos := 0; pos < n; pos++ {
+		for i := 0; i < d; i++ {
+			coords[i], locals[i] = l.Dims[i].ToLocal(global[i])
+		}
+		visit(pos, l.GridRank(coords), l.FlattenLocal(locals))
+		for i := 0; i < d; i++ {
+			global[i]++
+			if global[i] < l.Dims[i].N {
+				break
+			}
+			global[i] = 0
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package hpf parses HPF-style DISTRIBUTE directives into layouts —
+// the front-end notation a data-parallel compiler would hand to this
+// runtime. The paper targets exactly this setting (its venue is a
+// special issue on compilation techniques for distributed memory
+// systems): PACK/UNPACK are compiled against arrays annotated with
+//
+//	!HPF$ DISTRIBUTE A(CYCLIC(2), BLOCK) ONTO G
+//
+// The accepted grammar, case-insensitive, is
+//
+//	spec  := dist {"," dist} ["ONTO" grid]
+//	dist  := "BLOCK" | "CYCLIC" | "CYCLIC(" int ")" | "*"
+//	grid  := int {"x" int}
+//
+// with one dist entry per array dimension, dimension 0 (the
+// fastest-varying, Fortran's first) first. "*" keeps a dimension on a
+// single processor. The grid defaults to one processor along every
+// distributed dimension being unspecified — callers normally pass it.
+package hpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"packunpack/internal/dist"
+)
+
+// dimSpec is one parsed distribution directive.
+type dimSpec struct {
+	kind string // "block", "cyclic", "serial"
+	w    int    // block size for cyclic(k); 0 for block/cyclic/serial
+}
+
+// parseSpec splits the directive into per-dimension specs and the ONTO
+// grid (nil if absent).
+func parseSpec(spec string) ([]dimSpec, []int, error) {
+	s := strings.TrimSpace(spec)
+	var gridPart string
+	if i := strings.Index(strings.ToUpper(s), "ONTO"); i >= 0 {
+		gridPart = strings.TrimSpace(s[i+len("ONTO"):])
+		s = strings.TrimSpace(s[:i])
+	}
+	// Strip one pair of enclosing parentheses, but only if the opening
+	// one really matches the final character ("(CYCLIC(2), BLOCK)" is
+	// wrapped; "CYCLIC(2)" is not).
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		depth := 0
+		wrapped := true
+		for i, r := range s {
+			switch r {
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 && i != len(s)-1 {
+					wrapped = false
+				}
+			}
+		}
+		if wrapped {
+			s = strings.TrimSpace(s[1 : len(s)-1])
+		}
+	}
+	if strings.TrimSpace(s) == "" {
+		return nil, nil, fmt.Errorf("hpf: empty distribution spec")
+	}
+
+	var dims []dimSpec
+	depth := 0
+	start := 0
+	parts := []string{}
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+
+	for _, part := range parts {
+		p := strings.ToUpper(strings.TrimSpace(part))
+		switch {
+		case p == "BLOCK":
+			dims = append(dims, dimSpec{kind: "block"})
+		case p == "CYCLIC":
+			dims = append(dims, dimSpec{kind: "cyclic", w: 1})
+		case p == "*":
+			dims = append(dims, dimSpec{kind: "serial"})
+		case strings.HasPrefix(p, "CYCLIC(") && strings.HasSuffix(p, ")"):
+			arg := strings.TrimSpace(p[len("CYCLIC(") : len(p)-1])
+			w, err := strconv.Atoi(arg)
+			if err != nil || w <= 0 {
+				return nil, nil, fmt.Errorf("hpf: bad CYCLIC block size %q", arg)
+			}
+			dims = append(dims, dimSpec{kind: "cyclic", w: w})
+		default:
+			return nil, nil, fmt.Errorf("hpf: unknown distribution %q (want BLOCK, CYCLIC, CYCLIC(k) or *)", strings.TrimSpace(part))
+		}
+	}
+
+	var grid []int
+	if gridPart != "" {
+		for _, tok := range strings.Split(strings.ToLower(gridPart), "x") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v <= 0 {
+				return nil, nil, fmt.Errorf("hpf: bad grid extent %q", tok)
+			}
+			grid = append(grid, v)
+		}
+	}
+	return dims, grid, nil
+}
+
+// buildDims resolves the parsed specs against the array shape and
+// processor grid into concrete Dim values.
+func buildDims(specs []dimSpec, grid, shape []int) ([]dist.Dim, error) {
+	if len(specs) != len(shape) {
+		return nil, fmt.Errorf("hpf: %d distribution entries for a rank-%d array", len(specs), len(shape))
+	}
+	// Assign grid extents to the distributed (non-serial) dimensions
+	// in order.
+	distributed := 0
+	for _, sp := range specs {
+		if sp.kind != "serial" {
+			distributed++
+		}
+	}
+	if grid == nil {
+		grid = make([]int, distributed)
+		for i := range grid {
+			grid[i] = 1
+		}
+	}
+	if len(grid) != distributed {
+		return nil, fmt.Errorf("hpf: ONTO grid has %d extents for %d distributed dimensions", len(grid), distributed)
+	}
+	dims := make([]dist.Dim, len(specs))
+	gi := 0
+	for i, sp := range specs {
+		n := shape[i]
+		switch sp.kind {
+		case "serial":
+			dims[i] = dist.Dim{N: n, P: 1, W: n}
+		case "block":
+			p := grid[gi]
+			gi++
+			w := (n + p - 1) / p
+			dims[i] = dist.Dim{N: n, P: p, W: w}
+		case "cyclic":
+			p := grid[gi]
+			gi++
+			dims[i] = dist.Dim{N: n, P: p, W: sp.w}
+		}
+	}
+	return dims, nil
+}
+
+// ParseDist parses a DISTRIBUTE directive against a global array shape
+// (dimension 0 first) into a strict layout; the paper's divisibility
+// assumptions must hold or an error is returned (use ParseDistGeneral
+// otherwise).
+func ParseDist(spec string, shape ...int) (*dist.Layout, error) {
+	specs, grid, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := buildDims(specs, grid, shape)
+	if err != nil {
+		return nil, err
+	}
+	return dist.NewLayout(dims...)
+}
+
+// ParseDistGeneral is ParseDist without the divisibility assumptions:
+// the result is a ragged GeneralLayout usable with PackGeneral and
+// UnpackGeneral.
+func ParseDistGeneral(spec string, shape ...int) (*dist.GeneralLayout, error) {
+	specs, grid, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := buildDims(specs, grid, shape)
+	if err != nil {
+		return nil, err
+	}
+	return dist.NewGeneralLayout(dims...)
+}
+
+// Format renders a layout back into directive notation (a debugging
+// aid; Format(ParseDist(s)) is normalized, not byte-identical).
+func Format(dims []dist.Dim) string {
+	parts := make([]string, len(dims))
+	var grid []string
+	for i, d := range dims {
+		switch {
+		case d.P == 1:
+			parts[i] = "*"
+			continue
+		case d.W == 1:
+			parts[i] = "CYCLIC"
+		case d.W*d.P >= d.N:
+			parts[i] = "BLOCK"
+		default:
+			parts[i] = fmt.Sprintf("CYCLIC(%d)", d.W)
+		}
+		grid = append(grid, strconv.Itoa(d.P))
+	}
+	s := strings.Join(parts, ", ")
+	if len(grid) > 0 {
+		s += " ONTO " + strings.Join(grid, "x")
+	}
+	return s
+}

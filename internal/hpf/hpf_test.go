@@ -1,0 +1,144 @@
+package hpf
+
+import (
+	"strings"
+	"testing"
+
+	"packunpack/internal/dist"
+)
+
+func TestParseDistBasic(t *testing.T) {
+	l, err := ParseDist("CYCLIC(2) ONTO 4", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dist.Dim{N: 16, P: 4, W: 2}
+	if l.Dims[0] != want {
+		t.Fatalf("got %+v, want %+v", l.Dims[0], want)
+	}
+}
+
+func TestParseDistTwoD(t *testing.T) {
+	l, err := ParseDist("(CYCLIC, BLOCK) ONTO 2x4", 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Dims[0] != (dist.Dim{N: 8, P: 2, W: 1}) {
+		t.Fatalf("dim0 = %+v", l.Dims[0])
+	}
+	if l.Dims[1] != (dist.Dim{N: 32, P: 4, W: 8}) {
+		t.Fatalf("dim1 = %+v", l.Dims[1])
+	}
+}
+
+func TestParseDistSerialDim(t *testing.T) {
+	l, err := ParseDist("BLOCK, * ONTO 4", 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Dims[1] != (dist.Dim{N: 5, P: 1, W: 5}) {
+		t.Fatalf("serial dim = %+v", l.Dims[1])
+	}
+	if l.Procs() != 4 {
+		t.Fatalf("Procs = %d", l.Procs())
+	}
+}
+
+func TestParseDistCaseAndSpacing(t *testing.T) {
+	for _, spec := range []string{
+		"cyclic(2) onto 4",
+		"  Cyclic( 2 )   ONTO   4 ",
+		"(CYCLIC(2)) ONTO 4",
+	} {
+		l, err := ParseDist(spec, 16)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if l.Dims[0].W != 2 || l.Dims[0].P != 4 {
+			t.Fatalf("%q parsed to %+v", spec, l.Dims[0])
+		}
+	}
+}
+
+func TestParseDistDefaultsToOneProc(t *testing.T) {
+	l, err := ParseDist("BLOCK", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Procs() != 1 {
+		t.Fatalf("grid should default to 1, got %d", l.Procs())
+	}
+}
+
+func TestParseDistErrors(t *testing.T) {
+	cases := map[string][]int{
+		"":                     {8},
+		"FNORD ONTO 2":         {8},
+		"CYCLIC(x) ONTO 2":     {8},
+		"CYCLIC(0) ONTO 2":     {8},
+		"BLOCK ONTO 0":         {8},
+		"BLOCK ONTO 2x2":       {8},    // too many grid extents
+		"BLOCK, CYCLIC ONTO 2": {8, 8}, // too few grid extents
+		"BLOCK ONTO 2":         {8, 8}, // rank mismatch
+		"CYCLIC(3) ONTO 2":     {8},    // violates divisibility (strict)
+		"BLOCK ONTO huh":       {8},
+	}
+	for spec, shape := range cases {
+		if _, err := ParseDist(spec, shape...); err == nil {
+			t.Errorf("ParseDist(%q, %v) accepted", spec, shape)
+		}
+	}
+}
+
+func TestParseDistGeneralAllowsNonDivisible(t *testing.T) {
+	gl, err := ParseDistGeneral("CYCLIC(3) ONTO 2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl.Dims[0] != (dist.Dim{N: 8, P: 2, W: 3}) {
+		t.Fatalf("got %+v", gl.Dims[0])
+	}
+	if _, err := ParseDistGeneral("BOGUS", 8); err == nil {
+		t.Fatal("bad spec accepted by general parser")
+	}
+}
+
+func TestBlockComputesCeil(t *testing.T) {
+	gl, err := ParseDistGeneral("BLOCK ONTO 3", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl.Dims[0].W != 4 { // ceil(10/3)
+		t.Fatalf("BLOCK W = %d, want 4", gl.Dims[0].W)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	specs := []struct {
+		spec  string
+		shape []int
+	}{
+		{"CYCLIC(2) ONTO 4", []int{16}},
+		{"CYCLIC, BLOCK ONTO 2x4", []int{8, 32}},
+		{"BLOCK, * ONTO 4", []int{16, 5}},
+	}
+	for _, tc := range specs {
+		l, err := ParseDist(tc.spec, tc.shape...)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.spec, err)
+		}
+		formatted := Format(l.Dims)
+		l2, err := ParseDist(formatted, tc.shape...)
+		if err != nil {
+			t.Fatalf("Format(%q) = %q does not reparse: %v", tc.spec, formatted, err)
+		}
+		for i := range l.Dims {
+			if l.Dims[i] != l2.Dims[i] {
+				t.Fatalf("%q -> %q changed dim %d: %+v vs %+v", tc.spec, formatted, i, l.Dims[i], l2.Dims[i])
+			}
+		}
+		if !strings.Contains(formatted, "ONTO") == (l.Procs() > 1) {
+			t.Fatalf("Format(%q) = %q grid rendering odd", tc.spec, formatted)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package pack
+
+import (
+	"fmt"
+
+	"packunpack/internal/comm"
+	"packunpack/internal/dist"
+	"packunpack/internal/sim"
+)
+
+// Count computes the number of selected elements — the Fortran 90
+// COUNT intrinsic. It is the cheap sibling of the ranking stage: one
+// local mask scan and a single-word reduction-sum, with no
+// per-dimension base-rank arrays and no redistribution. Every
+// processor receives the global count.
+func Count(p *sim.Proc, l *dist.Layout, m []bool) (int, error) {
+	if len(m) != l.LocalSize() {
+		return 0, fmt.Errorf("pack: local mask has %d elements, layout needs %d", len(m), l.LocalSize())
+	}
+	if p.NProcs() != l.Procs() {
+		return 0, fmt.Errorf("pack: machine has %d processors but layout needs %d", p.NProcs(), l.Procs())
+	}
+	n := 0
+	for _, sel := range m {
+		if sel {
+			n++
+		}
+	}
+	p.Charge(len(m))
+	_, total := comm.World(p).PrefixReductionSum([]int{n}, comm.PRSDirect)
+	return total[0], nil
+}
+
+// CountGeneral is Count for ragged layouts (arbitrary extents).
+func CountGeneral(p *sim.Proc, gl *dist.GeneralLayout, m []bool) (int, error) {
+	if want := gl.LocalSizeAt(p.Rank()); len(m) != want {
+		return 0, fmt.Errorf("pack: ragged local mask has %d elements, layout needs %d", len(m), want)
+	}
+	if p.NProcs() != gl.Procs() {
+		return 0, fmt.Errorf("pack: machine has %d processors but layout needs %d", p.NProcs(), gl.Procs())
+	}
+	n := 0
+	for _, sel := range m {
+		if sel {
+			n++
+		}
+	}
+	p.Charge(len(m))
+	_, total := comm.World(p).PrefixReductionSum([]int{n}, comm.PRSDirect)
+	return total[0], nil
+}

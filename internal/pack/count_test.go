@@ -1,0 +1,168 @@
+package pack
+
+import (
+	"testing"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/sim"
+)
+
+func TestCountMatchesMaskCount(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 12, P: 2, W: 3}, dist.Dim{N: 8, P: 4, W: 1})
+	for _, density := range []float64{0, 0.3, 0.8, 1} {
+		gen := mask.NewRandom(density, 19, 12, 8)
+		want := mask.Count(gen, 12, 8)
+		m := sim.MustNew(sim.Config{Procs: 8, Params: sim.CM5Params()})
+		err := m.Run(func(p *sim.Proc) {
+			lm := mask.FillLocal(l, p.Rank(), gen)
+			got, err := Count(p, l, lm)
+			if err != nil {
+				panic(err)
+			}
+			if got != want {
+				panic("Count mismatch")
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCountCheaperThanPack(t *testing.T) {
+	// COUNT must cost a fraction of a full PACK at the same inputs.
+	l := dist.MustLayout(dist.Dim{N: 4096, P: 16, W: 16})
+	gen := mask.NewRandom(0.5, 7, 4096)
+	timeOf := func(doPack bool) float64 {
+		m := sim.MustNew(sim.Config{Procs: 16, Params: sim.CM5Params()})
+		err := m.Run(func(p *sim.Proc) {
+			lm := mask.FillLocal(l, p.Rank(), gen)
+			var err error
+			if doPack {
+				a := make([]int, l.LocalSize())
+				_, err = Pack(p, l, a, lm, Options{Scheme: SchemeCMS})
+			} else {
+				_, err = Count(p, l, lm)
+			}
+			if err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.MaxClock()
+	}
+	packT, countT := timeOf(true), timeOf(false)
+	if countT*2 >= packT {
+		t.Fatalf("COUNT (%v) should be far cheaper than PACK (%v)", countT, packT)
+	}
+}
+
+func TestCountGeneral(t *testing.T) {
+	gl := dist.MustGeneralLayout(dist.Dim{N: 23, P: 4, W: 3})
+	gen := mask.NewRandom(0.5, 29, 23)
+	want := mask.Count(gen, 23)
+	m := sim.MustNew(sim.Config{Procs: 4})
+	gmask := fillGlobalGeneral(gl, gen)
+	mLocals := dist.ScatterGeneral(gl, gmask)
+	err := m.Run(func(p *sim.Proc) {
+		got, err := CountGeneral(p, gl, mLocals[p.Rank()])
+		if err != nil {
+			panic(err)
+		}
+		if got != want {
+			panic("CountGeneral mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountBadInputs(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 16, P: 4, W: 2})
+	gl := dist.MustGeneralLayout(dist.Dim{N: 17, P: 4, W: 2})
+	m := sim.MustNew(sim.Config{Procs: 4})
+	err := m.Run(func(p *sim.Proc) {
+		if _, err := Count(p, l, make([]bool, 1)); err == nil {
+			panic("short mask accepted")
+		}
+		if _, err := CountGeneral(p, gl, make([]bool, 1)); err == nil {
+			panic("short ragged mask accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := sim.MustNew(sim.Config{Procs: 2})
+	err = m2.Run(func(p *sim.Proc) {
+		if _, err := Count(p, l, make([]bool, 4)); err == nil {
+			panic("machine mismatch accepted")
+		}
+		if _, err := CountGeneral(p, gl, make([]bool, gl.LocalSizeAt(p.Rank()))); err == nil {
+			panic("ragged machine mismatch accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 16, P: 4, W: 2})
+	gen := mask.NewRandom(0.5, 13, 16)
+	gmask := mask.FillGlobal(l, gen)
+	tGlobal := make([]int, 16)
+	fGlobal := make([]int, 16)
+	for i := range tGlobal {
+		tGlobal[i] = 100 + i
+		fGlobal[i] = -100 - i
+	}
+	tLocals := dist.Scatter(l, tGlobal)
+	fLocals := dist.Scatter(l, fGlobal)
+
+	m := sim.MustNew(sim.Config{Procs: 4, Params: sim.CM5Params()})
+	outs := make([][]int, 4)
+	err := m.Run(func(p *sim.Proc) {
+		lm := mask.FillLocal(l, p.Rank(), gen)
+		out, err := Merge(p, l, tLocals[p.Rank()], fLocals[p.Rank()], lm)
+		if err != nil {
+			panic(err)
+		}
+		outs[p.Rank()] = out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dist.Gather(l, outs)
+	for i := range got {
+		want := fGlobal[i]
+		if gmask[i] {
+			want = tGlobal[i]
+		}
+		if got[i] != want {
+			t.Fatalf("Merge at %d: got %d, want %d", i, got[i], want)
+		}
+	}
+	// MERGE must be communication-free.
+	for _, s := range m.Stats() {
+		if s.MsgsSent != 0 {
+			t.Fatalf("Merge sent %d messages; it must be local", s.MsgsSent)
+		}
+	}
+}
+
+func TestMergeBadInputs(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 16, P: 4, W: 2})
+	m := sim.MustNew(sim.Config{Procs: 4})
+	err := m.Run(func(p *sim.Proc) {
+		if _, err := Merge(p, l, make([]int, 4), make([]int, 3), make([]bool, 4)); err == nil {
+			panic("mismatched operands accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

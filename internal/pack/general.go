@@ -1,0 +1,110 @@
+package pack
+
+import (
+	"fmt"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/sim"
+)
+
+// This file lifts the paper's divisibility assumptions from PACK and
+// UNPACK. The paper assumes P_i | N_i and W_i | L_i "for the sake of
+// simplicity"; real arrays rarely oblige. The generalization pads each
+// dimension up to the next tile multiple (dist.GeneralLayout.Padded)
+// and masks the padding out: padding lives at the *end* of every
+// dimension, so the row-major order of the real elements — and hence
+// every rank the ranking stage computes — is unchanged, and the padded
+// elements never pack (their mask is false) and never receive UNPACK
+// data.
+
+// raggedToPadded builds the map between a processor's ragged local
+// offsets and its padded local offsets (identical per-dimension local
+// indices, different strides).
+func raggedToPadded(gl *dist.GeneralLayout, padded *dist.Layout, rank int) []int {
+	shape := gl.LocalShapeAt(rank)
+	pShape := padded.LocalShape()
+	d := len(shape)
+	size := 1
+	for _, s := range shape {
+		size *= s
+	}
+	out := make([]int, size)
+	locals := make([]int, d)
+	pOff := 0
+	pStride := make([]int, d)
+	s := 1
+	for i := 0; i < d; i++ {
+		pStride[i] = s
+		s *= pShape[i]
+	}
+	for off := 0; off < size; off++ {
+		out[off] = pOff
+		for i := 0; i < d; i++ {
+			locals[i]++
+			pOff += pStride[i]
+			if locals[i] < shape[i] {
+				break
+			}
+			pOff -= shape[i] * pStride[i]
+			locals[i] = 0
+		}
+	}
+	return out
+}
+
+// PackGeneral is Pack for arrays whose extents need not satisfy the
+// paper's divisibility assumptions. a and m are the processor's ragged
+// local portions (row-major over the ragged local shape,
+// dist.GeneralLayout.LocalShapeAt).
+func PackGeneral[T any](p *sim.Proc, gl *dist.GeneralLayout, a []T, m []bool, opt Options) (*Result[T], error) {
+	padded, pa, pm, _, err := padInputs(p, gl, a, m)
+	if err != nil {
+		return nil, err
+	}
+	return Pack(p, padded, pa, pm, opt)
+}
+
+// UnpackGeneral is Unpack for ragged layouts: the result array comes
+// back in the caller's ragged local shape.
+func UnpackGeneral[T any](p *sim.Proc, gl *dist.GeneralLayout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
+	padded, pf, pm, toPadded, err := padInputs(p, gl, field, m)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Unpack(p, padded, v, nPrime, pm, pf, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Extract the ragged result from the padded one.
+	out := make([]T, len(toPadded))
+	for off, pOff := range toPadded {
+		out[off] = res.A[pOff]
+	}
+	p.Charge(len(out))
+	res.A = out
+	return res, nil
+}
+
+// padInputs validates sizes and builds the padded local array and mask
+// (padding masked false). It charges the padding passes.
+func padInputs[T any](p *sim.Proc, gl *dist.GeneralLayout, a []T, m []bool) (*dist.Layout, []T, []bool, []int, error) {
+	if p.NProcs() != gl.Procs() {
+		return nil, nil, nil, nil, fmt.Errorf("pack: machine has %d processors but layout needs %d", p.NProcs(), gl.Procs())
+	}
+	want := gl.LocalSizeAt(p.Rank())
+	if len(a) != want || len(m) != want {
+		return nil, nil, nil, nil, fmt.Errorf("pack: ragged local array %d / mask %d, layout needs %d", len(a), len(m), want)
+	}
+	padded := gl.Padded()
+	pa := make([]T, padded.LocalSize())
+	pm := make([]bool, padded.LocalSize())
+	toPadded := raggedToPadded(gl, padded, p.Rank())
+	for off, pOff := range toPadded {
+		pa[pOff] = a[off]
+		pm[pOff] = m[off]
+	}
+	// One pass to zero/false-initialize the padded buffers plus one
+	// element copy per real element.
+	p.Charge(padded.LocalSize() + 2*want)
+	return padded, pa, pm, toPadded, nil
+}

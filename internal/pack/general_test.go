@@ -1,0 +1,178 @@
+package pack
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/seq"
+	"packunpack/internal/sim"
+)
+
+func generalLayouts() map[string]*dist.GeneralLayout {
+	return map[string]*dist.GeneralLayout{
+		"1d-prime":   dist.MustGeneralLayout(dist.Dim{N: 17, P: 4, W: 2}),
+		"1d-w-gt-l":  dist.MustGeneralLayout(dist.Dim{N: 10, P: 4, W: 8}),
+		"1d-partial": dist.MustGeneralLayout(dist.Dim{N: 29, P: 3, W: 4}),
+		"2d-ragged":  dist.MustGeneralLayout(dist.Dim{N: 7, P: 2, W: 2}, dist.Dim{N: 10, P: 3, W: 2}),
+		"2d-tiny":    dist.MustGeneralLayout(dist.Dim{N: 3, P: 2, W: 2}, dist.Dim{N: 5, P: 2, W: 3}),
+		"3d-uneven":  dist.MustGeneralLayout(dist.Dim{N: 5, P: 2, W: 1}, dist.Dim{N: 4, P: 3, W: 2}, dist.Dim{N: 3, P: 1, W: 2}),
+		"1d-divides": dist.MustGeneralLayout(dist.Dim{N: 16, P: 4, W: 2}), // also valid strictly
+	}
+}
+
+// fillGlobalGeneral evaluates a mask generator over the whole ragged
+// array in global row-major order.
+func fillGlobalGeneral(gl *dist.GeneralLayout, gen mask.Gen) []bool {
+	n := gl.GlobalSize()
+	out := make([]bool, 0, n)
+	d := gl.Rank()
+	idx := make([]int, d)
+	for pos := 0; pos < n; pos++ {
+		out = append(out, gen.At(idx))
+		for i := 0; i < d; i++ {
+			idx[i]++
+			if idx[i] < gl.Dims[i].N {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+func generalShape(gl *dist.GeneralLayout) []int {
+	s := make([]int, gl.Rank())
+	for i, d := range gl.Dims {
+		s[i] = d.N
+	}
+	return s
+}
+
+func TestPackGeneralMatchesOracle(t *testing.T) {
+	for lname, gl := range generalLayouts() {
+		sh := generalShape(gl)
+		gens := map[string]mask.Gen{
+			"d40":   mask.NewRandom(0.4, 3, sh...),
+			"full":  mask.Full{},
+			"empty": mask.Empty{},
+		}
+		for gname, gen := range gens {
+			for _, scheme := range []Scheme{SchemeSSS, SchemeCSS, SchemeCMS} {
+				t.Run(fmt.Sprintf("%s/%s/%v", lname, gname, scheme), func(t *testing.T) {
+					global := make([]int, gl.GlobalSize())
+					for i := range global {
+						global[i] = i + 11
+					}
+					gmask := fillGlobalGeneral(gl, gen)
+					want := seq.Pack(global, gmask)
+					if want == nil {
+						want = []int{}
+					}
+
+					aLocals := dist.ScatterGeneral(gl, global)
+					mLocals := dist.ScatterGeneral(gl, gmask)
+					m := sim.MustNew(sim.Config{Procs: gl.Procs()})
+					results := make([]*Result[int], gl.Procs())
+					err := m.Run(func(p *sim.Proc) {
+						res, err := PackGeneral(p, gl, aLocals[p.Rank()], mLocals[p.Rank()], Options{Scheme: scheme})
+						if err != nil {
+							panic(err)
+						}
+						results[p.Rank()] = res
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := make([]int, len(want))
+					for rank, res := range results {
+						if res.Ranking.Size != len(want) {
+							t.Fatalf("Size=%d, oracle %d", res.Ranking.Size, len(want))
+						}
+						for i, v := range res.V {
+							got[res.Vec.ToGlobal(rank, i)] = v
+						}
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("PackGeneral mismatch:\n got %v\nwant %v", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestUnpackGeneralMatchesOracle(t *testing.T) {
+	for lname, gl := range generalLayouts() {
+		sh := generalShape(gl)
+		gen := mask.NewRandom(0.5, 9, sh...)
+		for _, scheme := range []Scheme{SchemeSSS, SchemeCSS} {
+			t.Run(fmt.Sprintf("%s/%v", lname, scheme), func(t *testing.T) {
+				n := gl.GlobalSize()
+				gmask := fillGlobalGeneral(gl, gen)
+				size := seq.Count(gmask)
+				vGlobal := make([]int, size+3)
+				for i := range vGlobal {
+					vGlobal[i] = 900 + i
+				}
+				fGlobal := make([]int, n)
+				for i := range fGlobal {
+					fGlobal[i] = -i - 1
+				}
+				want := seq.Unpack(vGlobal, gmask, fGlobal)
+
+				vec, err := dist.NewVectorDist(len(vGlobal), gl.Procs(), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fLocals := dist.ScatterGeneral(gl, fGlobal)
+				mLocals := dist.ScatterGeneral(gl, gmask)
+
+				m := sim.MustNew(sim.Config{Procs: gl.Procs()})
+				outs := make([][]int, gl.Procs())
+				err = m.Run(func(p *sim.Proc) {
+					v := make([]int, vec.LocalLen(p.Rank()))
+					for i := range v {
+						v[i] = vGlobal[vec.ToGlobal(p.Rank(), i)]
+					}
+					res, err := UnpackGeneral(p, gl, v, len(vGlobal), mLocals[p.Rank()], fLocals[p.Rank()], Options{Scheme: scheme})
+					if err != nil {
+						panic(err)
+					}
+					outs[p.Rank()] = res.A
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := dist.GatherGeneral(gl, outs)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("UnpackGeneral mismatch:\n got %v\nwant %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestPackGeneralBadInputs(t *testing.T) {
+	gl := dist.MustGeneralLayout(dist.Dim{N: 17, P: 4, W: 2})
+	m := sim.MustNew(sim.Config{Procs: 4})
+	err := m.Run(func(p *sim.Proc) {
+		if _, err := PackGeneral(p, gl, make([]int, 1), make([]bool, 1), Options{}); err == nil {
+			panic("mis-sized ragged local accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := sim.MustNew(sim.Config{Procs: 2})
+	err = m2.Run(func(p *sim.Proc) {
+		if _, err := PackGeneral(p, gl, []int(nil), nil, Options{}); err == nil {
+			panic("machine/layout mismatch accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

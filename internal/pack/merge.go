@@ -1,0 +1,31 @@
+package pack
+
+import (
+	"fmt"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/sim"
+)
+
+// Merge computes the Fortran 90 MERGE intrinsic over a distributed
+// array: out[i] = tsource[i] where the mask is true, fsource[i]
+// otherwise. MERGE is the purely local member of the masked-array
+// family — with aligned operands it needs no communication at all,
+// which makes it a useful contrast to PACK/UNPACK in the cost model
+// (one pass over the local arrays, zero messages).
+func Merge[T any](p *sim.Proc, l *dist.Layout, tsource, fsource []T, m []bool) ([]T, error) {
+	if len(tsource) != l.LocalSize() || len(fsource) != l.LocalSize() || len(m) != l.LocalSize() {
+		return nil, fmt.Errorf("pack: Merge operands %d/%d/%d, layout needs %d",
+			len(tsource), len(fsource), len(m), l.LocalSize())
+	}
+	out := make([]T, len(m))
+	for i, sel := range m {
+		if sel {
+			out[i] = tsource[i]
+		} else {
+			out[i] = fsource[i]
+		}
+	}
+	p.Charge(len(m))
+	return out, nil
+}

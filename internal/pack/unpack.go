@@ -1,0 +1,202 @@
+package pack
+
+import (
+	"fmt"
+
+	"packunpack/internal/comm"
+	"packunpack/internal/dist"
+	"packunpack/internal/ranking"
+	"packunpack/internal/sim"
+)
+
+// UnpackResult is the outcome of Unpack on one processor.
+type UnpackResult[T any] struct {
+	// A is this processor's local portion of the result array, in
+	// local row-major order, conformable with the mask.
+	A []T
+	// Ranking is the ranking-stage result.
+	Ranking *ranking.Result
+}
+
+// reqSeg is a compact request: "send me the Count vector elements
+// starting at global rank Base" (two machine words). The simple
+// storage scheme sends one single-element segment per selected element
+// (its effective request size is one word, the rank; we charge one
+// word accordingly).
+type reqSeg struct {
+	Base  int
+	Count int
+}
+
+// Unpack scatters the distributed input vector into a new array shaped
+// like the mask: selected positions receive the vector elements in
+// array element order, unselected positions receive the field array
+// value. v is the processor's portion of the input vector, nPrime its
+// global length (the paper's N', which must be at least the number of
+// selected elements); m and field are the local mask and field arrays.
+// The input vector is block-distributed by default and block-cyclic
+// with Options.VectorW otherwise.
+//
+// UNPACK is a read operation: no processor knows in advance who needs
+// its vector elements, so the redistribution stage uses two-phase
+// communication — requests travel to the vector owners, data travels
+// back (Section 4.2).
+func Unpack[T any](p *sim.Proc, l *dist.Layout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
+	if len(m) != l.LocalSize() || len(field) != l.LocalSize() {
+		return nil, fmt.Errorf("unpack: local mask %d / field %d, layout needs %d", len(m), len(field), l.LocalSize())
+	}
+	if opt.Scheme == SchemeCMS {
+		return nil, fmt.Errorf("unpack: the compact message scheme applies to PACK only (requests are already compact under CSS)")
+	}
+	vec, err := dist.NewVectorDist(nPrime, p.NProcs(), opt.VectorW)
+	if err != nil {
+		return nil, err
+	}
+	if want := vec.LocalLen(p.Rank()); len(v) != want {
+		return nil, fmt.Errorf("unpack: local vector has %d elements, distribution of N'=%d gives %d", len(v), nPrime, want)
+	}
+
+	rnk, err := ranking.Rank(p, l, m, opt.rankingOptions(opt.Scheme == SchemeSSS))
+	if err != nil {
+		return nil, err
+	}
+	if rnk.Size > nPrime {
+		return nil, fmt.Errorf("unpack: vector too short: N'=%d < Size=%d", nPrime, rnk.Size)
+	}
+
+	world := comm.World(p)
+	n := p.NProcs()
+
+	// ---- Compose requests, remembering how to place the replies. ----
+	reqs := make([][]reqSeg, n)
+	reqWords := make([]int, n)
+	// For CSS, placement[i] lists (slice, skip, count) triples in
+	// request order; for SSS, recIdx[i] lists record indices.
+	type placeSeg struct{ slice, skip, count int }
+	var placement [][]placeSeg
+	var recIdx [][]int
+
+	if opt.Scheme == SchemeSSS {
+		recIdx = make([][]int, n)
+		for ri, rec := range rnk.Records {
+			r := rnk.RankOf(rec)
+			dst, _ := vec.Owner(r)
+			reqs[dst] = append(reqs[dst], reqSeg{Base: r, Count: 1})
+			recIdx[dst] = append(recIdx[dst], ri)
+			reqWords[dst]++ // one word per individual rank request
+		}
+		p.Charge(2 * len(rnk.Records)) // resolve rank, write request
+	} else {
+		placement = make([][]placeSeg, n)
+		g := geomOf(l)
+		p.Charge(g.slices) // check the counter array, one read per slice
+		for slice := 0; slice < g.slices; slice++ {
+			cnt := rnk.PSc[slice]
+			if cnt == 0 {
+				continue
+			}
+			r := rnk.PSf[slice]
+			taken := 0
+			for taken < cnt {
+				dst, _ := vec.Owner(r)
+				fit := vec.BlockRunEnd(r) - r
+				c := min(fit, cnt-taken)
+				reqs[dst] = append(reqs[dst], reqSeg{Base: r, Count: c})
+				placement[dst] = append(placement[dst], placeSeg{slice: slice, skip: taken, count: c})
+				reqWords[dst] += 2
+				p.Charge(2) // request segment header
+				r += c
+				taken += c
+			}
+		}
+	}
+
+	// ---- Stage 1: requests to the vector owners. ----
+	prev := p.SetPhase(PhaseM2M)
+	gotReqs := comm.AlltoallVW(world, reqs, reqWords, opt.A2A)
+	p.SetPhase(prev)
+
+	// ---- Serve: slice the local vector portion per request. ----
+	replies := make([][]T, n)
+	for src, list := range gotReqs {
+		if len(list) == 0 {
+			continue
+		}
+		total := 0
+		for _, rq := range list {
+			total += rq.Count
+		}
+		out := make([]T, 0, total)
+		for _, rq := range list {
+			p.Charge(1 + rq.Count) // read request, copy data
+			_, lo := vec.Owner(rq.Base)
+			out = append(out, v[lo:lo+rq.Count]...)
+		}
+		replies[src] = out
+	}
+
+	// ---- Stage 2: data back to the requesters. ----
+	prev = p.SetPhase(PhaseM2M)
+	gotData := comm.AlltoallVOpt(world, replies, 1, opt.A2A)
+	p.SetPhase(prev)
+
+	// ---- Place: field values where the mask is false, vector data
+	// where it is true. ----
+	res := &UnpackResult[T]{A: make([]T, l.LocalSize()), Ranking: rnk}
+	for off, sel := range m {
+		if !sel {
+			res.A[off] = field[off]
+		}
+	}
+	p.Charge(l.LocalSize()) // the local field-array transfer pass
+	if opt.Scheme == SchemeSSS {
+		for src, data := range gotData {
+			for i, ri := range recIdx[src] {
+				rec := rnk.Records[ri]
+				res.A[rec.Off] = data[i]
+			}
+			p.Charge(2 * len(data)) // read record, write datum
+		}
+	} else {
+		g := geomOf(l)
+		for src, data := range gotData {
+			pos := 0
+			for _, pl := range placement[src] {
+				pos += placeIntoSlice(p, g, res.A, m, pl.slice, pl.skip, pl.count, data[pos:], opt.WholeSliceScan)
+			}
+		}
+	}
+	return res, nil
+}
+
+// placeIntoSlice scatters data into the slice's selected positions,
+// skipping the first skip selected positions, writing count elements.
+// It returns count. The rescan mirrors the compact storage scheme's
+// collectSlice.
+func placeIntoSlice[T any](p *sim.Proc, g sliceGeom, a []T, m []bool, slice, skip, count int, data []T, whole bool) int {
+	base := g.base(slice)
+	seen := 0
+	written := 0
+	scanned := 0
+	for i := 0; i < g.w0; i++ {
+		scanned++
+		if m[base+i] {
+			if seen >= skip && written < count {
+				a[base+i] = data[written]
+				written++
+				if written == count && !whole {
+					break
+				}
+			}
+			seen++
+			if seen >= skip+count && !whole {
+				break
+			}
+		}
+	}
+	p.Charge(scanned + count)
+	if written != count {
+		panic(fmt.Sprintf("pack: internal error: placed %d of %d elements in slice %d", written, count, slice))
+	}
+	return count
+}

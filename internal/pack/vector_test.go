@@ -1,0 +1,215 @@
+package pack
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/seq"
+	"packunpack/internal/sim"
+)
+
+// TestPackVectorDistributions: the result vector distributed
+// block-cyclically with various block sizes must still produce the
+// oracle content under every scheme.
+func TestPackVectorDistributions(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 96, P: 4, W: 4})
+	gen := mask.NewRandom(0.55, 13, 96)
+	for _, scheme := range []Scheme{SchemeSSS, SchemeCSS, SchemeCMS} {
+		for _, wv := range []int{0, 1, 2, 5, 100} {
+			t.Run(fmt.Sprintf("%v/Wv=%d", scheme, wv), func(t *testing.T) {
+				runPack(t, l, gen, Options{Scheme: scheme, VectorW: wv})
+			})
+		}
+	}
+}
+
+func TestUnpackVectorDistributions(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 96, P: 4, W: 4})
+	gen := mask.NewRandom(0.55, 13, 96)
+	for _, scheme := range []Scheme{SchemeSSS, SchemeCSS} {
+		for _, wv := range []int{0, 1, 3, 7} {
+			t.Run(fmt.Sprintf("%v/Wv=%d", scheme, wv), func(t *testing.T) {
+				runUnpackW(t, l, gen, 5, Options{Scheme: scheme, VectorW: wv})
+			})
+		}
+	}
+}
+
+// TestCMSSegmentsGrowAsVectorBlocksShrink verifies the Section 6.2
+// observation: the compact message scheme ships more header words when
+// the result vector's blocks get smaller.
+func TestCMSSegmentsGrowAsVectorBlocksShrink(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 1024, P: 8, W: 32})
+	gen := mask.NewRandom(0.7, 3, 1024)
+	words := func(wv int) int64 {
+		m := sim.MustNew(sim.Config{Procs: 8, Params: sim.CM5Params()})
+		err := m.Run(func(p *sim.Proc) {
+			a := make([]int, l.LocalSize())
+			lm := mask.FillLocal(l, p.Rank(), gen)
+			if _, err := Pack(p, l, a, lm, Options{Scheme: SchemeCMS, VectorW: wv}); err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, s := range m.Stats() {
+			total += s.WordsSent
+		}
+		return total
+	}
+	block, cyc := words(0), words(1)
+	if cyc <= block {
+		t.Fatalf("cyclic result vector moved %d words, block moved %d; segments should fragment", cyc, block)
+	}
+}
+
+// TestPackWithVectorArgument: the Fortran 90 VECTOR argument pads the
+// result with the vector's trailing elements.
+func TestPackWithVectorArgument(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 64, P: 4, W: 2})
+	for _, density := range []float64{0, 0.3, 1.0} {
+		for _, extra := range []int{0, 5, 40} {
+			t.Run(fmt.Sprintf("d%.0f/extra%d", density*100, extra), func(t *testing.T) {
+				gen := mask.NewRandom(density, 21, 64)
+				gmask := mask.FillGlobal(l, gen)
+				global := make([]int, 64)
+				for i := range global {
+					global[i] = i + 1
+				}
+				size := seq.Count(gmask)
+				nVec := size + extra
+				padGlobal := make([]int, nVec)
+				for i := range padGlobal {
+					padGlobal[i] = -100 - i
+				}
+				want := seq.PackVector(global, gmask, padGlobal)
+
+				locals := dist.Scatter(l, global)
+				vec, err := dist.NewVectorDist(nVec, 4, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := sim.MustNew(sim.Config{Procs: 4})
+				results := make([]*Result[int], 4)
+				err = m.Run(func(p *sim.Proc) {
+					lm := mask.FillLocal(l, p.Rank(), gen)
+					pad := make([]int, vec.LocalLen(p.Rank()))
+					for i := range pad {
+						pad[i] = padGlobal[vec.ToGlobal(p.Rank(), i)]
+					}
+					res, err := PackVector(p, l, locals[p.Rank()], lm, pad, nVec, Options{Scheme: SchemeCMS})
+					if err != nil {
+						panic(err)
+					}
+					results[p.Rank()] = res
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := make([]int, nVec)
+				for rank, res := range results {
+					if res.Vec.Size != nVec {
+						t.Fatalf("result vector sized %d, want %d", res.Vec.Size, nVec)
+					}
+					for i, v := range res.V {
+						got[res.Vec.ToGlobal(rank, i)] = v
+					}
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("PackVector mismatch:\n got %v\nwant %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestPackVectorTooShort(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 16, P: 4, W: 2})
+	m := sim.MustNew(sim.Config{Procs: 4})
+	err := m.Run(func(p *sim.Proc) {
+		lm := mask.FillLocal(l, p.Rank(), mask.Full{}) // Size = 16
+		vec, _ := dist.NewVectorDist(8, 4, 0)
+		pad := make([]int, vec.LocalLen(p.Rank()))
+		if _, err := PackVector(p, l, make([]int, 4), lm, pad, 8, Options{}); err == nil {
+			panic("VECTOR shorter than Size accepted")
+		}
+		if _, err := PackVector(p, l, make([]int, 4), lm, nil, -1, Options{}); err == nil {
+			panic("negative VECTOR length accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackVectorBadPadPortion(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 16, P: 4, W: 2})
+	m := sim.MustNew(sim.Config{Procs: 4})
+	err := m.Run(func(p *sim.Proc) {
+		lm := mask.FillLocal(l, p.Rank(), mask.Empty{})
+		// Wrong local pad length: distribution of 8 over 4 gives 2 per
+		// processor, pass 3.
+		if _, err := PackVector(p, l, make([]int, 4), lm, make([]int, 3), 8, Options{}); err == nil {
+			panic("mis-sized pad portion accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runUnpackW is runUnpack with full options (vector distribution
+// aware).
+func runUnpackW(t *testing.T, l *dist.Layout, gen mask.Gen, slack int, opt Options) {
+	t.Helper()
+	gmask := mask.FillGlobal(l, gen)
+	size := seq.Count(gmask)
+	nPrime := size + slack
+	vGlobal := make([]int, nPrime)
+	for i := range vGlobal {
+		vGlobal[i] = 1000 + i
+	}
+	fGlobal := make([]int, l.GlobalSize())
+	for i := range fGlobal {
+		fGlobal[i] = -1 - i
+	}
+	want := seq.Unpack(vGlobal, gmask, fGlobal)
+
+	vec, err := dist.NewVectorDist(nPrime, l.Procs(), opt.VectorW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fLocals := dist.Scatter(l, fGlobal)
+
+	m := sim.MustNew(sim.Config{Procs: l.Procs()})
+	results := make([]*UnpackResult[int], l.Procs())
+	err = m.Run(func(p *sim.Proc) {
+		lm := mask.FillLocal(l, p.Rank(), gen)
+		vLocal := make([]int, vec.LocalLen(p.Rank()))
+		for i := range vLocal {
+			vLocal[i] = vGlobal[vec.ToGlobal(p.Rank(), i)]
+		}
+		res, err := Unpack(p, l, vLocal, nPrime, lm, fLocals[p.Rank()], opt)
+		if err != nil {
+			panic(err)
+		}
+		results[p.Rank()] = res
+	})
+	if err != nil {
+		t.Fatalf("machine run failed: %v", err)
+	}
+
+	aLocals := make([][]int, l.Procs())
+	for r, res := range results {
+		aLocals[r] = res.A
+	}
+	got := dist.Gather(l, aLocals)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("unpacked array mismatch:\n got %v\nwant %v", got, want)
+	}
+}

@@ -1,0 +1,256 @@
+package redist
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/pack"
+	"packunpack/internal/seq"
+	"packunpack/internal/sim"
+)
+
+func shapes(l *dist.Layout) []int {
+	s := make([]int, l.Rank())
+	for i, d := range l.Dims {
+		s[i] = d.N
+	}
+	return s
+}
+
+func TestBlockLayout(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 16, P: 4, W: 1}, dist.Dim{N: 8, P: 2, W: 2})
+	b := BlockLayout(l)
+	for i, d := range b.Dims {
+		if !d.Block() {
+			t.Errorf("dimension %d not block-distributed: %+v", i, d)
+		}
+		if d.N != l.Dims[i].N || d.P != l.Dims[i].P {
+			t.Errorf("dimension %d changed shape/grid: %+v", i, d)
+		}
+	}
+}
+
+func TestRedistributePreservesContent(t *testing.T) {
+	cases := []struct{ src, dst *dist.Layout }{
+		{dist.MustLayout(dist.Dim{N: 16, P: 4, W: 1}), dist.MustLayout(dist.Dim{N: 16, P: 4, W: 4})},
+		{dist.MustLayout(dist.Dim{N: 16, P: 4, W: 4}), dist.MustLayout(dist.Dim{N: 16, P: 4, W: 1})},
+		{dist.MustLayout(dist.Dim{N: 24, P: 4, W: 2}), dist.MustLayout(dist.Dim{N: 24, P: 4, W: 3})},
+		{
+			dist.MustLayout(dist.Dim{N: 8, P: 2, W: 1}, dist.Dim{N: 6, P: 3, W: 1}),
+			dist.MustLayout(dist.Dim{N: 8, P: 2, W: 4}, dist.Dim{N: 6, P: 3, W: 2}),
+		},
+	}
+	for ci, c := range cases {
+		t.Run(fmt.Sprintf("case%d", ci), func(t *testing.T) {
+			n := c.src.GlobalSize()
+			global := make([]int, n)
+			for i := range global {
+				global[i] = i + 100
+			}
+			locals := dist.Scatter(c.src, global)
+			m := sim.MustNew(sim.Config{Procs: c.src.Procs()})
+			out := make([][]int, c.src.Procs())
+			err := m.Run(func(p *sim.Proc) {
+				res, err := Redistribute(p, c.src, c.dst, locals[p.Rank()])
+				if err != nil {
+					panic(err)
+				}
+				out[p.Rank()] = res
+			})
+			if err != nil {
+				t.Fatalf("machine run failed: %v", err)
+			}
+			if got := dist.Gather(c.dst, out); !reflect.DeepEqual(got, global) {
+				t.Fatalf("content changed:\n got %v\nwant %v", got, global)
+			}
+		})
+	}
+}
+
+func TestRedistributeSelected(t *testing.T) {
+	src := dist.MustLayout(dist.Dim{N: 32, P: 4, W: 1})
+	dst := BlockLayout(src)
+	gen := mask.NewRandom(0.4, 11, shapes(src)...)
+	global := make([]int, 32)
+	for i := range global {
+		global[i] = i * 3
+	}
+	gmask := mask.FillGlobal(src, gen)
+	locals := dist.Scatter(src, global)
+
+	m := sim.MustNew(sim.Config{Procs: 4})
+	outA := make([][]int, 4)
+	outM := make([][]bool, 4)
+	err := m.Run(func(p *sim.Proc) {
+		lm := mask.FillLocal(src, p.Rank(), gen)
+		ta, tm, err := RedistributeSelected(p, src, dst, locals[p.Rank()], lm)
+		if err != nil {
+			panic(err)
+		}
+		outA[p.Rank()] = ta
+		outM[p.Rank()] = tm
+	})
+	if err != nil {
+		t.Fatalf("machine run failed: %v", err)
+	}
+	gotMask := dist.Gather(dst, outM)
+	if !reflect.DeepEqual(gotMask, gmask) {
+		t.Fatalf("temporary mask mismatch:\n got %v\nwant %v", gotMask, gmask)
+	}
+	gotA := dist.Gather(dst, outA)
+	for i := range gmask {
+		if gmask[i] && gotA[i] != global[i] {
+			t.Fatalf("selected element %d: got %d, want %d", i, gotA[i], global[i])
+		}
+	}
+}
+
+// runRedistPack checks that both redistribution pipelines produce the
+// oracle pack result for a cyclically distributed input.
+func runRedistPack(t *testing.T, l *dist.Layout, gen mask.Gen, whole bool) {
+	t.Helper()
+	n := l.GlobalSize()
+	global := make([]int, n)
+	for i := range global {
+		global[i] = i + 7
+	}
+	gmask := mask.FillGlobal(l, gen)
+	want := seq.Pack(global, gmask)
+	locals := dist.Scatter(l, global)
+
+	m := sim.MustNew(sim.Config{Procs: l.Procs()})
+	results := make([]*pack.Result[int], l.Procs())
+	err := m.Run(func(p *sim.Proc) {
+		lm := mask.FillLocal(l, p.Rank(), gen)
+		var res *pack.Result[int]
+		var err error
+		if whole {
+			res, err = PackRedistWhole(p, l, locals[p.Rank()], lm, pack.Options{})
+		} else {
+			res, err = PackRedistSelected(p, l, locals[p.Rank()], lm, pack.Options{})
+		}
+		if err != nil {
+			panic(err)
+		}
+		results[p.Rank()] = res
+	})
+	if err != nil {
+		t.Fatalf("machine run failed: %v", err)
+	}
+	var got []int
+	for _, r := range results {
+		got = append(got, r.V...)
+	}
+	if len(want) == 0 {
+		want = nil
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("packed vector mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestPackRedistPipelines(t *testing.T) {
+	layouts := map[string]*dist.Layout{
+		"1d-cyclic": dist.MustLayout(dist.Dim{N: 64, P: 4, W: 1}),
+		"2d-cyclic": dist.MustLayout(dist.Dim{N: 8, P: 2, W: 1}, dist.Dim{N: 8, P: 2, W: 1}),
+	}
+	for lname, l := range layouts {
+		for _, density := range []float64{0, 0.1, 0.5, 1.0} {
+			gen := mask.NewRandom(density, 5, shapes(l)...)
+			for _, whole := range []bool{false, true} {
+				name := fmt.Sprintf("%s/d%.0f/whole=%v", lname, density*100, whole)
+				t.Run(name, func(t *testing.T) {
+					runRedistPack(t, l, gen, whole)
+				})
+			}
+		}
+	}
+}
+
+func TestRedistributeRejectsMismatch(t *testing.T) {
+	a := dist.MustLayout(dist.Dim{N: 16, P: 4, W: 1})
+	b := dist.MustLayout(dist.Dim{N: 32, P: 4, W: 1})
+	m := sim.MustNew(sim.Config{Procs: 4})
+	err := m.Run(func(p *sim.Proc) {
+		if _, err := Redistribute(p, a, b, make([]int, 4)); err == nil {
+			panic("expected shape mismatch error")
+		}
+		if _, err := Redistribute(p, a, BlockLayout(a), make([]int, 3)); err == nil {
+			panic("expected local size error")
+		}
+	})
+	if err != nil {
+		t.Fatalf("machine run failed: %v", err)
+	}
+}
+
+func TestPipelineErrorPropagation(t *testing.T) {
+	src := dist.MustLayout(dist.Dim{N: 16, P: 4, W: 1})
+	m := sim.MustNew(sim.Config{Procs: 4})
+	err := m.Run(func(p *sim.Proc) {
+		if _, err := PackRedistSelected(p, src, make([]int, 1), make([]bool, 1), pack.Options{}); err == nil {
+			panic("Red.1 accepted mis-sized locals")
+		}
+		if _, err := PackRedistWhole(p, src, make([]int, 1), make([]bool, 4), pack.Options{}); err == nil {
+			panic("Red.2 accepted mis-sized locals")
+		}
+		if _, err := UnpackRedistWhole(p, src, nil, 0, make([]bool, 1), make([]int, 1), pack.Options{}); err == nil {
+			panic("UnpackRedistWhole accepted mis-sized locals")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRejectsWrongRankPlan(t *testing.T) {
+	src := dist.MustLayout(dist.Dim{N: 8, P: 2, W: 1})
+	dst := BlockLayout(src)
+	m := sim.MustNew(sim.Config{Procs: 2})
+	plans := make([]*Plan, 2)
+	err := m.Run(func(p *sim.Proc) {
+		pl, err := NewPlan(p, src, dst)
+		if err != nil {
+			panic(err)
+		}
+		plans[p.Rank()] = pl
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reusing another rank's plan must be rejected.
+	err = m.Run(func(p *sim.Proc) {
+		other := plans[1-p.Rank()]
+		if _, err := Apply(p, other, make([]int, src.LocalSize())); err == nil {
+			panic("plan for another rank accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameShapeChecks(t *testing.T) {
+	a := dist.MustLayout(dist.Dim{N: 16, P: 4, W: 1})
+	b := dist.MustLayout(dist.Dim{N: 16, P: 4, W: 1}, dist.Dim{N: 2, P: 1, W: 2})
+	c := dist.MustLayout(dist.Dim{N: 16, P: 2, W: 1})
+	m := sim.MustNew(sim.Config{Procs: 4})
+	err := m.Run(func(p *sim.Proc) {
+		if _, err := NewPlan(p, a, b); err == nil {
+			panic("rank mismatch accepted")
+		}
+		if p.Rank() < 2 {
+			// c has only 2 processors; the grid mismatch must be
+			// caught before any communication.
+			if _, err := NewPlan(p, a, c); err == nil {
+				panic("grid mismatch accepted")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package redist
+
+import (
+	"packunpack/internal/dist"
+	"packunpack/internal/pack"
+	"packunpack/internal/sim"
+)
+
+// UnpackRedistWhole applies the Section 6.3 redistribution idea to
+// UNPACK, which the paper argues is *not* a feasible option: because
+// UNPACK is a READ operation whose result array must come back in the
+// original distribution, the pipeline needs two redistribution steps —
+// one moving the mask and field arrays to the block layout before the
+// operation, and another moving the result array back afterwards.
+//
+// The implementation exists so the claim can be measured (see the
+// ablation benchmarks): it is correct, it is just expected to lose to
+// plain UNPACK on the cyclic layout.
+func UnpackRedistWhole[T any](p *sim.Proc, src *dist.Layout, v []T, nPrime int, m []bool, field []T, opt pack.Options) (*pack.UnpackResult[T], error) {
+	dst := BlockLayout(src)
+
+	// Step 1: mask and field to the block layout (one shared
+	// communication detection, two applications).
+	fwd, err := NewPlan(p, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := Apply(p, fwd, m)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := Apply(p, fwd, field)
+	if err != nil {
+		return nil, err
+	}
+
+	// UNPACK on the block layout, where the ranking overhead is
+	// minimal. The input vector's own distribution is unchanged.
+	opt.Scheme = pack.SchemeCSS
+	res, err := pack.Unpack(p, dst, v, nPrime, tm, tf, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: the result array back to the original distribution —
+	// the second redistribution the paper warns about.
+	back, err := NewPlan(p, dst, src)
+	if err != nil {
+		return nil, err
+	}
+	a, err := Apply(p, back, res.A)
+	if err != nil {
+		return nil, err
+	}
+	res.A = a
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package redist
+
+import (
+	"reflect"
+	"testing"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/pack"
+	"packunpack/internal/seq"
+	"packunpack/internal/sim"
+)
+
+func TestUnpackRedistWholeMatchesOracle(t *testing.T) {
+	src := dist.MustLayout(dist.Dim{N: 64, P: 4, W: 1}) // cyclic input
+	gen := mask.NewRandom(0.4, 17, 64)
+	gmask := mask.FillGlobal(src, gen)
+	size := seq.Count(gmask)
+
+	vGlobal := make([]int, size)
+	for i := range vGlobal {
+		vGlobal[i] = 500 + i
+	}
+	fGlobal := make([]int, 64)
+	for i := range fGlobal {
+		fGlobal[i] = -i
+	}
+	want := seq.Unpack(vGlobal, gmask, fGlobal)
+
+	vec, err := dist.NewVectorDist(size, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fLocals := dist.Scatter(src, fGlobal)
+
+	m := sim.MustNew(sim.Config{Procs: 4, Params: sim.CM5Params()})
+	outs := make([][]int, 4)
+	err = m.Run(func(p *sim.Proc) {
+		lm := mask.FillLocal(src, p.Rank(), gen)
+		v := make([]int, vec.LocalLen(p.Rank()))
+		for i := range v {
+			v[i] = vGlobal[vec.ToGlobal(p.Rank(), i)]
+		}
+		res, err := UnpackRedistWhole(p, src, v, size, lm, fLocals[p.Rank()], pack.Options{})
+		if err != nil {
+			panic(err)
+		}
+		outs[p.Rank()] = res.A
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dist.Gather(src, outs)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("UnpackRedistWhole mismatch:\n got %v\nwant %v", got, want)
+	}
+
+	// The pipeline must book redistribution time (two plan phases + a
+	// result move).
+	var redistTime float64
+	for _, s := range m.Stats() {
+		redistTime += s.Phases[PhaseRedist].Comm
+	}
+	if redistTime <= 0 {
+		t.Fatal("no redistribution communication booked")
+	}
+}
+
+func TestUnpackRedistLosesToDirectUnpack(t *testing.T) {
+	// The paper's claim: redistribution is not feasible for UNPACK.
+	src := dist.MustLayout(dist.Dim{N: 4096, P: 16, W: 1})
+	gen := mask.NewRandom(0.5, 23, 4096)
+	size := mask.Count(gen, 4096)
+	vec, _ := dist.NewVectorDist(size, 16, 0)
+
+	runIt := func(useRedist bool) float64 {
+		m := sim.MustNew(sim.Config{Procs: 16, Params: sim.CM5Params()})
+		err := m.Run(func(p *sim.Proc) {
+			lm := mask.FillLocal(src, p.Rank(), gen)
+			v := make([]int, vec.LocalLen(p.Rank()))
+			f := make([]int, src.LocalSize())
+			var err error
+			if useRedist {
+				_, err = UnpackRedistWhole(p, src, v, size, lm, f, pack.Options{})
+			} else {
+				_, err = pack.Unpack(p, src, v, size, lm, f, pack.Options{Scheme: pack.SchemeSSS})
+			}
+			if err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.MaxClock()
+	}
+	direct, redist := runIt(false), runIt(true)
+	if redist <= direct {
+		t.Fatalf("redistribution UNPACK (%v) unexpectedly beat direct UNPACK (%v)", redist, direct)
+	}
+}

@@ -1,0 +1,96 @@
+// Package seq implements sequential reference semantics for the
+// Fortran 90 / HPF PACK and UNPACK intrinsics on flat row-major arrays.
+// It serves as the correctness oracle for the parallel algorithms and
+// as the single-processor baseline in the benchmarks.
+//
+// Because ranking order is global row-major order, the reference
+// functions are rank-agnostic: a rank-d array is passed as its flat
+// row-major buffer (dimension 0 fastest), which is exactly the order in
+// which PACK gathers elements.
+package seq
+
+import "fmt"
+
+// Pack gathers the elements of a selected by m into a new vector, in
+// array element order. len(m) must equal len(a).
+func Pack[T any](a []T, m []bool) []T {
+	if len(a) != len(m) {
+		panic(fmt.Sprintf("seq: Pack length mismatch: array %d, mask %d", len(a), len(m)))
+	}
+	var out []T
+	for i, sel := range m {
+		if sel {
+			out = append(out, a[i])
+		}
+	}
+	return out
+}
+
+// PackVector implements the Fortran 90 optional VECTOR argument of
+// PACK: the result has the length of vector, its leading elements are
+// the selected elements of a, and the remaining positions keep the
+// corresponding elements of vector. vector must hold at least Count(m)
+// elements.
+func PackVector[T any](a []T, m []bool, vector []T) []T {
+	packed := Pack(a, m)
+	if len(packed) > len(vector) {
+		panic(fmt.Sprintf("seq: PackVector vector too short: %d < %d", len(vector), len(packed)))
+	}
+	out := make([]T, len(vector))
+	copy(out, vector)
+	copy(out, packed)
+	return out
+}
+
+// Count returns the number of true values in m (the Size of PACK's
+// result).
+func Count(m []bool) int {
+	n := 0
+	for _, sel := range m {
+		if sel {
+			n++
+		}
+	}
+	return n
+}
+
+// Unpack scatters v into a new array shaped like m: position i receives
+// the next element of v if m[i] is true, and f[i] otherwise. len(f)
+// must equal len(m), and v must hold at least Count(m) elements (the
+// paper's N' >= Size requirement).
+func Unpack[T any](v []T, m []bool, f []T) []T {
+	if len(f) != len(m) {
+		panic(fmt.Sprintf("seq: Unpack length mismatch: field %d, mask %d", len(f), len(m)))
+	}
+	out := make([]T, len(m))
+	r := 0
+	for i, sel := range m {
+		if sel {
+			if r >= len(v) {
+				panic(fmt.Sprintf("seq: Unpack vector too short: need > %d elements, have %d", r, len(v)))
+			}
+			out[i] = v[r]
+			r++
+		} else {
+			out[i] = f[i]
+		}
+	}
+	return out
+}
+
+// Ranks returns, for every true position of m, its rank (0-based index
+// in the packed vector), and -1 for false positions. This is the oracle
+// for the parallel ranking algorithm of Section 5.
+func Ranks(m []bool) []int {
+	out := make([]int, len(m))
+	r := 0
+	for i, sel := range m {
+		if sel {
+			out[i] = r
+			r++
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package seq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackBasic(t *testing.T) {
+	a := []int{10, 20, 30, 40, 50}
+	m := []bool{true, false, true, true, false}
+	want := []int{10, 30, 40}
+	if got := Pack(a, m); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Pack = %v, want %v", got, want)
+	}
+}
+
+func TestPackEmptyAndFull(t *testing.T) {
+	a := []int{1, 2, 3}
+	if got := Pack(a, []bool{false, false, false}); got != nil {
+		t.Fatalf("empty mask should pack to nil, got %v", got)
+	}
+	if got := Pack(a, []bool{true, true, true}); !reflect.DeepEqual(got, a) {
+		t.Fatalf("full mask should pack to the array, got %v", got)
+	}
+}
+
+func TestPackGenericTypes(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	m := []bool{false, true, true}
+	if got := Pack(a, m); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("Pack strings = %v", got)
+	}
+}
+
+func TestPackLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Pack([]int{1, 2}, []bool{true})
+}
+
+func TestCount(t *testing.T) {
+	if Count([]bool{true, false, true}) != 2 {
+		t.Fatal("Count wrong")
+	}
+	if Count(nil) != 0 {
+		t.Fatal("Count(nil) wrong")
+	}
+}
+
+func TestUnpackBasic(t *testing.T) {
+	v := []int{100, 200, 300}
+	m := []bool{false, true, false, true, true}
+	f := []int{1, 2, 3, 4, 5}
+	want := []int{1, 100, 3, 200, 300}
+	if got := Unpack(v, m, f); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Unpack = %v, want %v", got, want)
+	}
+}
+
+func TestUnpackVectorLongerThanSize(t *testing.T) {
+	// N' > Size: extra vector elements are ignored.
+	v := []int{100, 200, 300, 400}
+	m := []bool{true, false}
+	f := []int{1, 2}
+	if got := Unpack(v, m, f); !reflect.DeepEqual(got, []int{100, 2}) {
+		t.Fatalf("Unpack = %v", got)
+	}
+}
+
+func TestUnpackVectorTooShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on short vector")
+		}
+	}()
+	Unpack([]int{1}, []bool{true, true}, []int{0, 0})
+}
+
+func TestUnpackFieldMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on field mismatch")
+		}
+	}()
+	Unpack([]int{1}, []bool{true, false}, []int{0})
+}
+
+func TestRanks(t *testing.T) {
+	m := []bool{true, false, true, true, false, true}
+	want := []int{0, -1, 1, 2, -1, 3}
+	if got := Ranks(m); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Ranks = %v, want %v", got, want)
+	}
+}
+
+// TestPackUnpackRoundTrip: UNPACK(PACK(a,m), m, a) == a.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%64) + 1
+		a := make([]int, size)
+		m := make([]bool, size)
+		for i := range a {
+			a[i] = rng.Int()
+			m[i] = rng.Intn(2) == 0
+		}
+		v := Pack(a, m)
+		back := Unpack(v, m, a)
+		return reflect.DeepEqual(back, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRanksConsistentWithPack: element with rank r lands at V[r].
+func TestRanksConsistentWithPack(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%64) + 1
+		a := make([]int, size)
+		m := make([]bool, size)
+		for i := range a {
+			a[i] = rng.Int()
+			m[i] = rng.Intn(3) != 0
+		}
+		v := Pack(a, m)
+		for i, r := range Ranks(m) {
+			if r >= 0 && v[r] != a[i] {
+				return false
+			}
+			if r < 0 && m[i] {
+				return false
+			}
+		}
+		return Count(m) == len(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackVector(t *testing.T) {
+	a := []int{1, 2, 3, 4}
+	m := []bool{true, false, true, false}
+	vector := []int{-1, -2, -3, -4, -5}
+	want := []int{1, 3, -3, -4, -5}
+	if got := PackVector(a, m, vector); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PackVector = %v, want %v", got, want)
+	}
+	// The pad vector itself must not be modified.
+	if !reflect.DeepEqual(vector, []int{-1, -2, -3, -4, -5}) {
+		t.Fatal("PackVector modified its vector argument")
+	}
+}
+
+func TestPackVectorTooShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short vector")
+		}
+	}()
+	PackVector([]int{1, 2}, []bool{true, true}, []int{9})
+}

@@ -1,0 +1,172 @@
+package packunpack_test
+
+import (
+	"reflect"
+	"testing"
+
+	"packunpack"
+)
+
+func TestPublicPackVector(t *testing.T) {
+	machine := packunpack.NewMachine(packunpack.Config{Procs: 4})
+	layout := packunpack.MustLayout(packunpack.Dim{N: 32, P: 4, W: 2})
+
+	global := make([]int, 32)
+	gmask := make([]bool, 32)
+	for i := range global {
+		global[i] = i
+		gmask[i] = i%5 == 0 // 7 selected
+	}
+	size := packunpack.SeqCount(gmask)
+	nVec := size + 9
+	padGlobal := make([]int, nVec)
+	for i := range padGlobal {
+		padGlobal[i] = -200 - i
+	}
+	want := packunpack.SeqPackVector(global, gmask, padGlobal)
+
+	vec, err := packunpack.NewVectorDist(nVec, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals := packunpack.Scatter(layout, global)
+	maskLocals := packunpack.Scatter(layout, gmask)
+	results := make([]*packunpack.PackResult[int], 4)
+	err = machine.Run(func(p *packunpack.Proc) {
+		r := p.Rank()
+		pad := make([]int, vec.LocalLen(r))
+		for i := range pad {
+			pad[i] = padGlobal[vec.ToGlobal(r, i)]
+		}
+		res, err := packunpack.PackVector(p, layout, locals[r], maskLocals[r], pad, nVec,
+			packunpack.Options{Scheme: packunpack.CMS})
+		if err != nil {
+			panic(err)
+		}
+		results[r] = res
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, nVec)
+	for rank, res := range results {
+		for i, v := range res.V {
+			got[res.Vec.ToGlobal(rank, i)] = v
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PackVector via public API mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestPublicGeneralLayoutOps(t *testing.T) {
+	machine := packunpack.NewMachine(packunpack.Config{Procs: 3})
+	gl := packunpack.MustGeneralLayout(packunpack.Dim{N: 14, P: 3, W: 2})
+
+	global := make([]int, 14)
+	gmask := make([]bool, 14)
+	for i := range global {
+		global[i] = 100 + i
+		gmask[i] = i%2 == 0
+	}
+	want := packunpack.SeqPack(global, gmask)
+	aLocals := packunpack.ScatterGeneral(gl, global)
+	mLocals := packunpack.ScatterGeneral(gl, gmask)
+
+	outs := make([][]int, 3)
+	var count int
+	err := machine.Run(func(p *packunpack.Proc) {
+		r := p.Rank()
+		c, err := packunpack.CountGeneral(p, gl, mLocals[r])
+		if err != nil {
+			panic(err)
+		}
+		if r == 0 {
+			count = c
+		}
+		res, err := packunpack.PackGeneral(p, gl, aLocals[r], mLocals[r],
+			packunpack.Options{Scheme: packunpack.SSS})
+		if err != nil {
+			panic(err)
+		}
+		back, err := packunpack.UnpackGeneral(p, gl, res.V, res.Vec.Size, mLocals[r], aLocals[r],
+			packunpack.Options{Scheme: packunpack.CSS})
+		if err != nil {
+			panic(err)
+		}
+		outs[r] = back.A
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(want) {
+		t.Fatalf("CountGeneral = %d, want %d", count, len(want))
+	}
+	// Round trip: the array must be unchanged.
+	if got := packunpack.GatherGeneral(gl, outs); !reflect.DeepEqual(got, global) {
+		t.Fatalf("general round trip mismatch: %v", got)
+	}
+	if _, err := packunpack.NewGeneralLayout(); err == nil {
+		t.Fatal("empty general layout accepted")
+	}
+}
+
+func TestPublicCount(t *testing.T) {
+	machine := packunpack.NewMachine(packunpack.Config{Procs: 4})
+	layout := packunpack.MustLayout(packunpack.Dim{N: 40, P: 4, W: 5})
+	gen := packunpack.RandomMask(0.3, 5, 40)
+	want := packunpack.SeqCount(packunpack.FillGlobalMask(layout, gen))
+	err := machine.Run(func(p *packunpack.Proc) {
+		m := packunpack.FillLocalMask(layout, p.Rank(), gen)
+		got, err := packunpack.Count(p, layout, m)
+		if err != nil {
+			panic(err)
+		}
+		if got != want {
+			panic("public Count mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicVectorDist(t *testing.T) {
+	v, err := packunpack.NewVectorDist(13, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for r := 0; r < 4; r++ {
+		total += v.LocalLen(r)
+	}
+	if total != 13 {
+		t.Fatalf("local lengths sum to %d", total)
+	}
+	if _, err := packunpack.NewVectorDist(-1, 4, 0); err == nil {
+		t.Fatal("negative vector size accepted")
+	}
+}
+
+func TestPublicParseDist(t *testing.T) {
+	l, err := packunpack.ParseDist("CYCLIC(2), BLOCK ONTO 4x2", 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Procs() != 8 {
+		t.Fatalf("Procs = %d", l.Procs())
+	}
+	if s := packunpack.FormatDist(l); s == "" {
+		t.Fatal("FormatDist empty")
+	}
+	gl, err := packunpack.ParseDistGeneral("CYCLIC(3) ONTO 2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl.Procs() != 2 {
+		t.Fatalf("general Procs = %d", gl.Procs())
+	}
+	if _, err := packunpack.ParseDist("NOPE", 8); err == nil {
+		t.Fatal("bad directive accepted")
+	}
+}

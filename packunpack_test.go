@@ -1,0 +1,183 @@
+package packunpack_test
+
+import (
+	"reflect"
+	"testing"
+
+	"packunpack"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface: machine,
+// layout, masks, pack, unpack, ranking, redistribution.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	machine := packunpack.NewMachine(packunpack.Config{Procs: 4, Params: packunpack.CM5Params()})
+	layout := packunpack.MustLayout(packunpack.Dim{N: 48, P: 4, W: 3})
+
+	global := make([]int, 48)
+	gmask := make([]bool, 48)
+	for i := range global {
+		global[i] = 5 * i
+		gmask[i] = i%4 != 0
+	}
+	locals := packunpack.Scatter(layout, global)
+	maskLocals := packunpack.Scatter(layout, gmask)
+
+	packed := make([][]int, 4)
+	unpacked := make([][]int, 4)
+	var size int
+	err := machine.Run(func(p *packunpack.Proc) {
+		r := p.Rank()
+		res, err := packunpack.Pack(p, layout, locals[r], maskLocals[r], packunpack.Options{Scheme: packunpack.CMS})
+		if err != nil {
+			panic(err)
+		}
+		packed[r] = res.V
+		if r == 0 {
+			size = res.Vec.Size
+		}
+
+		field := make([]int, layout.LocalSize())
+		for i := range field {
+			field[i] = -9
+		}
+		back, err := packunpack.Unpack(p, layout, res.V, res.Vec.Size, maskLocals[r], field, packunpack.Options{Scheme: packunpack.SSS})
+		if err != nil {
+			panic(err)
+		}
+		unpacked[r] = back.A
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := packunpack.SeqPack(global, gmask)
+	if size != len(want) || size != packunpack.SeqCount(gmask) {
+		t.Fatalf("Size = %d, want %d", size, len(want))
+	}
+	var got []int
+	for _, b := range packed {
+		got = append(got, b...)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("packed mismatch: %v vs %v", got, want)
+	}
+
+	field := make([]int, 48)
+	for i := range field {
+		field[i] = -9
+	}
+	wantBack := packunpack.SeqUnpack(want, gmask, field)
+	gotBack := packunpack.Gather(layout, unpacked)
+	if !reflect.DeepEqual(gotBack, wantBack) {
+		t.Fatalf("unpacked mismatch")
+	}
+
+	if machine.MaxClock() <= 0 {
+		t.Fatal("no simulated time recorded")
+	}
+	stats := machine.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("want 4 stats, got %d", len(stats))
+	}
+}
+
+func TestPublicRedistribution(t *testing.T) {
+	machine := packunpack.NewMachine(packunpack.Config{Procs: 4})
+	cyclic := packunpack.MustLayout(packunpack.Dim{N: 32, P: 4, W: 1})
+	block := packunpack.BlockLayout(cyclic)
+
+	global := make([]int, 32)
+	gmask := make([]bool, 32)
+	for i := range global {
+		global[i] = i + 1
+		gmask[i] = i%2 == 0
+	}
+	locals := packunpack.Scatter(cyclic, global)
+	maskLocals := packunpack.Scatter(cyclic, gmask)
+
+	moved := make([][]int, 4)
+	red1 := make([][]int, 4)
+	red2 := make([][]int, 4)
+	err := machine.Run(func(p *packunpack.Proc) {
+		r := p.Rank()
+		out, err := packunpack.Redistribute(p, cyclic, block, locals[r])
+		if err != nil {
+			panic(err)
+		}
+		moved[r] = out
+
+		res1, err := packunpack.PackRedistSelected(p, cyclic, locals[r], maskLocals[r], packunpack.Options{})
+		if err != nil {
+			panic(err)
+		}
+		red1[r] = res1.V
+		res2, err := packunpack.PackRedistWhole(p, cyclic, locals[r], maskLocals[r], packunpack.Options{})
+		if err != nil {
+			panic(err)
+		}
+		red2[r] = res2.V
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := packunpack.Gather(block, moved); !reflect.DeepEqual(got, global) {
+		t.Fatalf("Redistribute changed content")
+	}
+	want := packunpack.SeqPack(global, gmask)
+	for name, blocks := range map[string][][]int{"red1": red1, "red2": red2} {
+		var got []int
+		for _, b := range blocks {
+			got = append(got, b...)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s pack mismatch: %v vs %v", name, got, want)
+		}
+	}
+}
+
+func TestPublicRankOnly(t *testing.T) {
+	machine := packunpack.NewMachine(packunpack.Config{Procs: 2})
+	layout := packunpack.MustLayout(packunpack.Dim{N: 16, P: 2, W: 2})
+	gen := packunpack.FirstHalfMask(16)
+	err := machine.Run(func(p *packunpack.Proc) {
+		m := packunpack.FillLocalMask(layout, p.Rank(), gen)
+		res, err := packunpack.Rank(p, layout, m, false)
+		if err != nil {
+			panic(err)
+		}
+		if res.Size != 8 {
+			panic("FirstHalf of 16 should select 8")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicMaskHelpers(t *testing.T) {
+	layout := packunpack.MustLayout(
+		packunpack.Dim{N: 8, P: 2, W: 2},
+		packunpack.Dim{N: 8, P: 2, W: 2},
+	)
+	gm := packunpack.FillGlobalMask(layout, packunpack.UpperTriangleMask())
+	count := 0
+	for _, b := range gm {
+		if b {
+			count++
+		}
+	}
+	if count != 8*7/2 {
+		t.Fatalf("upper triangle count %d", count)
+	}
+	rm := packunpack.FillGlobalMask(layout, packunpack.RandomMask(0.5, 1, 8, 8))
+	if len(rm) != 64 {
+		t.Fatalf("random mask length %d", len(rm))
+	}
+	if _, err := packunpack.NewMachineErr(packunpack.Config{Procs: 0}); err == nil {
+		t.Fatal("NewMachineErr accepted Procs=0")
+	}
+	if _, err := packunpack.NewLayout(packunpack.Dim{N: 10, P: 3, W: 1}); err == nil {
+		t.Fatal("NewLayout accepted an indivisible dimension")
+	}
+}
