@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# smoke proves the parallel sweep engine end to end on one experiment.
+smoke:
+	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 4
+
+ci: vet build race smoke

@@ -21,6 +21,7 @@ import (
 // simulated time.
 func benchRun(b *testing.B, r bench.Run) {
 	b.Helper()
+	b.ReportAllocs()
 	var simMS float64
 	for i := 0; i < b.N; i++ {
 		met, err := r.Execute()
@@ -126,6 +127,7 @@ func BenchmarkPrefixReductionSum(b *testing.B) {
 	for _, algo := range []comm.PRSAlgorithm{comm.PRSDirect, comm.PRSSplit} {
 		for _, m := range []int{64, 8192} {
 			b.Run(algo.String()+"/"+map[int]string{64: "M64", 8192: "M8192"}[m], func(b *testing.B) {
+				b.ReportAllocs()
 				var simMS float64
 				for i := 0; i < b.N; i++ {
 					machine := sim.MustNew(sim.Config{Procs: 16, Params: sim.CM5Params()})

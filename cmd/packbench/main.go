@@ -6,16 +6,24 @@
 //	packbench -exp all            # everything (DESIGN.md experiment index)
 //	packbench -exp fig3           # one artifact: fig3|fig4|fig5|table1|table2|scale|prs|ablate
 //	packbench -exp table2 -quick  # trimmed parameter sets (seconds instead of minutes)
+//	packbench -parallel 1         # serial sweep (output is identical either way)
+//	packbench -json perf.json     # also write a host-performance report
 //	packbench -list               # show the available experiment ids
 //
 // All reported times are virtual machine times under the two-level
-// cost model (CM-5-flavoured constants), in milliseconds.
+// cost model (CM-5-flavoured constants), in milliseconds. The -parallel
+// flag only changes how fast the host gets there: experiment points run
+// on a worker pool, but every virtual measurement and every rendered
+// table is byte-identical to the serial run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,15 +31,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id to run (or 'all')")
+	exp := flag.String("exp", "all", "experiment id to run (or 'all', or a comma list)")
 	quick := flag.Bool("quick", false, "use trimmed parameter sets")
 	seed := flag.Uint64("seed", 1, "seed for the random masks")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outPath := flag.String("out", "", "also write the tables to this file")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "host worker pool size for the sweep engine (1 = serial)")
+	jsonPath := flag.String("json", "", "write a host-performance report (schema "+bench.PerfSchema+") to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
 	suite := bench.NewSuite(*quick, *seed)
-	reg := suite.Registry()
+	suite.Workers = *parallel
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -41,21 +52,47 @@ func main() {
 		return
 	}
 
-	start := time.Now()
-	var tables []*bench.Table
-	if *exp == "all" {
-		tables = suite.All()
-	} else {
+	ids := suite.ExperimentIDs()
+	if *exp != "all" {
+		ids = nil
+		known := suite.Registry()
 		for _, id := range strings.Split(*exp, ",") {
 			id = strings.TrimSpace(id)
-			run, ok := reg[id]
-			if !ok {
+			if _, ok := known[id]; !ok {
 				fmt.Fprintf(os.Stderr, "packbench: unknown experiment %q (known: %s)\n",
 					id, strings.Join(suite.ExperimentIDs(), ", "))
 				os.Exit(2)
 			}
-			tables = append(tables, run()...)
+			ids = append(ids, id)
 		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		// LIFO: the profile must be flushed before the file closes.
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	start := time.Now()
+	var tables []*bench.Table
+	perfs := make([]bench.ExperimentPerf, 0, len(ids))
+	for _, id := range ids {
+		t, perf, err := suite.RunInstrumented(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		tables = append(tables, t...)
+		perfs = append(perfs, perf)
 	}
 
 	fmt.Printf("packbench: %s (quick=%v, seed=%d)\n", *exp, *quick, *seed)
@@ -74,5 +111,27 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *outPath)
 	}
-	fmt.Printf("generated %d tables in %.1fs wall time\n", len(tables), time.Since(start).Seconds())
+	if *jsonPath != "" {
+		report := bench.PerfReport{
+			Schema:      bench.PerfSchema,
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			Parallel:    *parallel,
+			Quick:       *quick,
+			Seed:        *seed,
+			Experiments: perfs,
+			Total:       bench.SumPerf(perfs),
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	fmt.Printf("generated %d tables in %.1fs wall time (parallel=%d)\n", len(tables), time.Since(start).Seconds(), *parallel)
 }

@@ -12,7 +12,9 @@ import (
 // linear permutation schedule, the stop-early slice rescan, the
 // combined prefix-reduction-sum primitive, and the self-message
 // policy.
-func (s Suite) Ablations() []*Table {
+func (s Suite) Ablations() []*Table { return s.parallelize(Suite.ablations) }
+
+func (s Suite) ablations() []*Table {
 	return []*Table{
 		s.ablationSchedule(),
 		s.ablationScanPolicy(),

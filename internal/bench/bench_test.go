@@ -284,9 +284,9 @@ func TestTablesWellFormed(t *testing.T) {
 func TestSuiteCacheHits(t *testing.T) {
 	s := NewSuite(true, 1)
 	s.Fig3()
-	before := len(s.cache)
+	before := s.cache.len()
 	s.Fig4() // same sweep, different columns
-	if len(s.cache) != before {
-		t.Fatalf("fig4 added %d cache entries; it should reuse fig3's runs", len(s.cache)-before)
+	if s.cache.len() != before {
+		t.Fatalf("fig4 added %d cache entries; it should reuse fig3's runs", s.cache.len()-before)
 	}
 }

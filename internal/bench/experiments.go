@@ -21,15 +21,26 @@ type Suite struct {
 	// masks per configuration; one seed per density is enough for the
 	// shape comparisons).
 	Seed uint64
+	// Workers bounds the host worker pool the sweep engine fans
+	// experiment points out to: 0 means runtime.NumCPU(), 1 reproduces
+	// the fully serial behaviour. Whatever the value, rendered tables
+	// are byte-identical (the determinism invariant of DESIGN.md §7).
+	Workers int
 	// cache memoizes measurements across experiments: Figure 3 and
 	// Figure 4 report different columns of the same runs, and the
 	// Table I crossover search revisits the SSS baseline repeatedly.
-	cache map[string]Metrics
+	// It is also the hand-off point of the parallel sweep engine.
+	cache *runCache
+	// collect, when non-nil, switches measure into the grid-discovery
+	// mode of the parallel sweep engine (see parallel.go).
+	collect *runCollector
+	// counters instrument machine executions for the perf report.
+	counters *perfCounters
 }
 
 // NewSuite builds a suite with a shared measurement cache.
 func NewSuite(quick bool, seed uint64) Suite {
-	return Suite{Quick: quick, Seed: seed, cache: make(map[string]Metrics)}
+	return Suite{Quick: quick, Seed: seed, cache: newRunCache(), counters: &perfCounters{}}
 }
 
 // maskSpec names a mask generator for a given array shape.
@@ -130,23 +141,23 @@ func (s Suite) packArrays() []arraySpec {
 
 // measure runs one configuration and panics on harness bugs (the
 // experiment grid is fixed, so an error is a programming error, not an
-// input error). Results are memoized when the suite has a cache.
+// input error). Results are memoized when the suite has a cache. In
+// collect mode the point is only recorded for the parallel prefetcher
+// and a zero Metrics is returned (the dry pass's tables are discarded).
 func (s Suite) measure(r Run) Metrics {
-	var key string
+	key := runKey(r)
+	if s.collect != nil {
+		s.collect.add(key, r)
+		return Metrics{}
+	}
 	if s.cache != nil {
-		key = fmt.Sprintf("%s|%s|%v|%v|%v|%d|%v|%v|%v|%v",
-			r.Layout.String(), r.Gen.Name(), r.Opt.Scheme, r.Mode, r.Opt.PRS,
-			r.Opt.VectorW, r.Opt.WholeSliceScan, r.Opt.A2A, r.Opt.SeparatePrefixReduce, r.SelfSendFree)
-		if m, ok := s.cache[key]; ok {
+		if m, ok := s.cache.get(key); ok {
 			return m
 		}
 	}
-	m, err := r.Execute()
-	if err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
-	}
+	m := s.execute(r)
 	if s.cache != nil {
-		s.cache[key] = m
+		s.cache.put(key, m)
 	}
 	return m
 }
@@ -157,7 +168,9 @@ var packSchemes = []pack.Scheme{pack.SchemeSSS, pack.SchemeCSS, pack.SchemeCMS}
 // Fig3 regenerates Figure 3: local computation time (ms) of the three
 // PACK schemes as a function of the block size, per array size and
 // mask density.
-func (s Suite) Fig3() []*Table {
+func (s Suite) Fig3() []*Table { return s.parallelize(Suite.fig3) }
+
+func (s Suite) fig3() []*Table {
 	var tables []*Table
 	for _, arr := range s.packArrays() {
 		for _, msk := range s.maskSpecs(arr.shape) {
@@ -186,7 +199,9 @@ func (s Suite) Fig3() []*Table {
 
 // Fig4 regenerates Figure 4: total PACK execution time (ms) of the
 // three schemes, with the stage breakdown of the best scheme.
-func (s Suite) Fig4() []*Table {
+func (s Suite) Fig4() []*Table { return s.parallelize(Suite.fig4) }
+
+func (s Suite) fig4() []*Table {
 	var tables []*Table
 	for _, arr := range s.packArrays() {
 		for _, msk := range s.maskSpecs(arr.shape) {
@@ -219,7 +234,9 @@ func (s Suite) Fig4() []*Table {
 
 // Fig5 regenerates Figure 5: total UNPACK execution time (ms) of the
 // two UNPACK schemes (SSS and CSS).
-func (s Suite) Fig5() []*Table {
+func (s Suite) Fig5() []*Table { return s.parallelize(Suite.fig5) }
+
+func (s Suite) fig5() []*Table {
 	var tables []*Table
 	for _, arr := range s.packArrays() {
 		for _, msk := range s.maskSpecs(arr.shape) {
@@ -252,11 +269,17 @@ func (s Suite) Fig5() []*Table {
 
 // beta finds the smallest power-of-two block size at which challenger
 // local computation is no worse than incumbent local computation, or 0
-// if it never happens (the paper prints infinity).
+// if it never happens (the paper prints infinity). In collect mode the
+// crossover predicate cannot be evaluated, so the whole sweep is
+// enumerated for the prefetcher — a superset of what the real pass
+// will read, which keeps the replay byte-identical.
 func (s Suite) beta(build func(w int) *dist.Layout, localW int, gen mask.Gen, challenger, incumbent pack.Scheme) int {
 	for w := 1; w <= localW; w *= 2 {
 		inc := s.measure(Run{Layout: build(w), Gen: gen, Opt: pack.Options{Scheme: incumbent}, Mode: ModePack})
 		ch := s.measure(Run{Layout: build(w), Gen: gen, Opt: pack.Options{Scheme: challenger}, Mode: ModePack})
+		if s.collect != nil {
+			continue
+		}
 		if ch.LocalMS <= inc.LocalMS {
 			return w
 		}
@@ -269,7 +292,9 @@ func (s Suite) beta(build func(w int) *dist.Layout, localW int, gen mask.Gen, ch
 // storage scheme on local computation) for 1-D and 2-D arrays across
 // mask densities, plus the corresponding beta_2 values for the compact
 // message scheme.
-func (s Suite) Table1() []*Table {
+func (s Suite) Table1() []*Table { return s.parallelize(Suite.table1) }
+
+func (s Suite) table1() []*Table {
 	type sizeSpec struct {
 		label  string
 		build  func(w int) *dist.Layout
@@ -344,7 +369,9 @@ func (s Suite) Table1() []*Table {
 // Table2 regenerates Table II: total PACK time for a cyclically
 // distributed input under the plain simple storage scheme versus the
 // two preliminary redistribution pipelines.
-func (s Suite) Table2() []*Table {
+func (s Suite) Table2() []*Table { return s.parallelize(Suite.table2) }
+
+func (s Suite) table2() []*Table {
 	type sizeSpec struct {
 		label string
 		l     *dist.Layout
@@ -390,7 +417,9 @@ func (s Suite) Table2() []*Table {
 // Scale regenerates the Section 7 scaling experiment: the same local
 // array size on 16 and on 256 processors (global size grown 16x),
 // showing communication taking over from local computation.
-func (s Suite) Scale() []*Table {
+func (s Suite) Scale() []*Table { return s.parallelize(Suite.scale) }
+
+func (s Suite) scale() []*Table {
 	type cfg struct {
 		label string
 		build func(w int) *dist.Layout
@@ -434,7 +463,12 @@ func (s Suite) Scale() []*Table {
 
 // PRS regenerates the prefix-reduction-sum comparison the paper refers
 // to (Section 7 and reference [6]): direct vs split vs the auto rule,
-// across processor counts and vector lengths.
+// across processor counts and vector lengths. It does not go through
+// measure (the runs are bare collectives, not PACK/UNPACK points), so
+// it parallelizes directly: the (P, M, algo) grid is fanned out over
+// the worker pool into an index-addressed result array, and the rows
+// are assembled serially in grid order — byte-identical regardless of
+// the worker count.
 func (s Suite) PRS() []*Table {
 	procs := []int{4, 16, 64, 256}
 	vecs := []int{16, 256, 4096, 65536}
@@ -442,6 +476,37 @@ func (s Suite) PRS() []*Table {
 		procs = []int{4, 16}
 		vecs = []int{16, 1024}
 	}
+	algos := []comm.PRSAlgorithm{comm.PRSDirect, comm.PRSSplit, comm.PRSAuto}
+	type point struct {
+		p, m int
+		algo comm.PRSAlgorithm
+	}
+	var grid []point
+	for _, p := range procs {
+		for _, m := range vecs {
+			for _, algo := range algos {
+				grid = append(grid, point{p: p, m: m, algo: algo})
+			}
+		}
+	}
+	vals := make([]float64, len(grid))
+	s.forEach(len(grid), func(i int) {
+		pt := grid[i]
+		machine := sim.MustNew(sim.Config{Procs: pt.p, Params: sim.CM5Params()})
+		err := machine.Run(func(proc *sim.Proc) {
+			vec := make([]int, pt.m)
+			for i := range vec {
+				vec[i] = proc.Rank() + i
+			}
+			comm.World(proc).PrefixReductionSum(vec, pt.algo)
+		})
+		if err != nil {
+			panic(err)
+		}
+		vals[i] = machine.MaxClock() / 1000
+		s.counters.record(vals[i])
+	})
+
 	t := &Table{
 		ID:      "prs",
 		Title:   "Vector prefix-reduction-sum time (ms) by algorithm",
@@ -450,22 +515,13 @@ func (s Suite) PRS() []*Table {
 			"expected shape: direct wins for small M or small P; split wins as both grow (its bandwidth term is P-independent)",
 		},
 	}
-	for _, p := range procs {
-		for _, m := range vecs {
-			row := []string{fmt.Sprint(p), fmt.Sprint(m)}
-			for _, algo := range []comm.PRSAlgorithm{comm.PRSDirect, comm.PRSSplit, comm.PRSAuto} {
-				machine := sim.MustNew(sim.Config{Procs: p, Params: sim.CM5Params()})
-				err := machine.Run(func(proc *sim.Proc) {
-					vec := make([]int, m)
-					for i := range vec {
-						vec[i] = proc.Rank() + i
-					}
-					comm.World(proc).PrefixReductionSum(vec, algo)
-				})
-				if err != nil {
-					panic(err)
-				}
-				row = append(row, ms(machine.MaxClock()/1000))
+	i := 0
+	for range procs {
+		for range vecs {
+			row := []string{fmt.Sprint(grid[i].p), fmt.Sprint(grid[i].m)}
+			for range algos {
+				row = append(row, ms(vals[i]))
+				i++
 			}
 			t.AddRow(row...)
 		}

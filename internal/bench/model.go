@@ -18,7 +18,9 @@ import (
 // delta*(W) = (1 + 1/W)/3 above which CSS should win. The experiment
 // tabulates that prediction against the measured winner across the
 // density grid, plus the analogous measurement for CMS.
-func (s Suite) Model() []*Table {
+func (s Suite) Model() []*Table { return s.parallelize(Suite.model) }
+
+func (s Suite) model() []*Table {
 	n := 16384
 	if s.Quick {
 		n = 4096
@@ -39,11 +41,17 @@ func (s Suite) Model() []*Table {
 		},
 	}
 
+	// In collect mode the winner predicate cannot be evaluated, so the
+	// whole density sweep is enumerated for the prefetcher (a superset
+	// of what the serial replay will read; see Suite.beta).
 	minWinningDensity := func(w int, scheme pack.Scheme) string {
 		for _, d := range densities {
 			gen := mask.NewRandom(d, s.Seed+uint64(d*100), shape...)
 			sss := s.measure(Run{Layout: oneD(n, 16, w), Gen: gen, Opt: pack.Options{Scheme: pack.SchemeSSS}, Mode: ModePack})
 			ch := s.measure(Run{Layout: oneD(n, 16, w), Gen: gen, Opt: pack.Options{Scheme: scheme}, Mode: ModePack})
+			if s.collect != nil {
+				continue
+			}
 			if ch.LocalMS <= sss.LocalMS {
 				return fmt.Sprintf("%.0f%%", d*100)
 			}

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the host-parallel sweep engine. Experiment points are
+// independent — masks are pure functions of (seed, global index) and
+// every Run executes on its own sim.Machine with its own virtual
+// clocks — so the engine fans them out across a bounded worker pool.
+//
+// Determinism invariant (DESIGN.md §7): host parallelism must never
+// change a single rendered byte. The engine guarantees that by
+// construction: a generator is first dry-run in "collect" mode to
+// discover its measurement grid (tables discarded), the grid is
+// executed concurrently into the shared cache, and then the generator
+// is replayed serially against the warm cache, producing exactly the
+// rows a fully serial run would.
+
+// runCache memoizes Metrics by configuration key. It is safe for
+// concurrent use: the sweep engine fills it from several workers at
+// once.
+type runCache struct {
+	mu   sync.Mutex
+	m    map[string]Metrics
+	hits atomic.Int64
+}
+
+func newRunCache() *runCache { return &runCache{m: make(map[string]Metrics)} }
+
+// get returns the cached metrics for key, counting a hit on success.
+func (c *runCache) get(key string) (Metrics, bool) {
+	c.mu.Lock()
+	m, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return m, ok
+}
+
+// peek is get without hit accounting (used by the prefetcher to skip
+// already-measured points).
+func (c *runCache) peek(key string) bool {
+	c.mu.Lock()
+	_, ok := c.m[key]
+	c.mu.Unlock()
+	return ok
+}
+
+func (c *runCache) put(key string, m Metrics) {
+	c.mu.Lock()
+	c.m[key] = m
+	c.mu.Unlock()
+}
+
+func (c *runCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// runKey identifies a measurement configuration for memoization.
+func runKey(r Run) string {
+	return fmt.Sprintf("%s|%s|%v|%v|%v|%d|%v|%v|%v|%v|%v",
+		r.Layout.String(), r.Gen.Name(), r.Opt.Scheme, r.Mode, r.Opt.PRS,
+		r.Opt.VectorW, r.Opt.WholeSliceScan, r.Opt.A2A, r.Opt.SeparatePrefixReduce,
+		r.SelfSendFree, r.Params)
+}
+
+// runCollector accumulates the distinct experiment points a generator
+// would measure, during the dry (collect) pass of the engine.
+type runCollector struct {
+	seen map[string]bool
+	keys []string
+	runs []Run
+}
+
+func (c *runCollector) add(key string, r Run) {
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.keys = append(c.keys, key)
+	c.runs = append(c.runs, r)
+}
+
+// perfCounters aggregates host-side instrumentation of the suite's
+// work for the -json perf report.
+type perfCounters struct {
+	mu        sync.Mutex
+	runs      int64
+	virtualMS float64
+}
+
+func (c *perfCounters) record(virtualMS float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.runs++
+	c.virtualMS += virtualMS
+	c.mu.Unlock()
+}
+
+// PerfSnapshot reports the cumulative number of machine executions,
+// the virtual time they produced (summed TotalMS), and the number of
+// cache hits so far. Deltas between snapshots give per-experiment
+// figures.
+func (s Suite) PerfSnapshot() (machineRuns int64, virtualMS float64, cacheHits int64) {
+	if s.counters != nil {
+		s.counters.mu.Lock()
+		machineRuns = s.counters.runs
+		virtualMS = s.counters.virtualMS
+		s.counters.mu.Unlock()
+	}
+	if s.cache != nil {
+		cacheHits = s.cache.hits.Load()
+	}
+	return machineRuns, virtualMS, cacheHits
+}
+
+// workerCount resolves the Workers field: 0 means one worker per CPU.
+func (s Suite) workerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// forEach runs fn(i) for every i in [0, n) across the suite's worker
+// pool and blocks until all complete. With one worker (or n <= 1) it
+// degenerates to a plain serial loop. A panic in a worker is re-raised
+// in the caller after the pool drains, mirroring measure's serial
+// panic-on-harness-bug behaviour.
+func (s Suite) forEach(n int, fn func(int)) {
+	w := s.workerCount()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// prefetch executes every not-yet-cached collected point across the
+// worker pool, filling the shared cache. No output is produced here;
+// the caller replays its generator against the warm cache afterwards.
+func (s Suite) prefetch(col *runCollector) {
+	var todo []int
+	for i, key := range col.keys {
+		if !s.cache.peek(key) {
+			todo = append(todo, i)
+		}
+	}
+	s.forEach(len(todo), func(j int) {
+		i := todo[j]
+		s.cache.put(col.keys[i], s.execute(col.runs[i]))
+	})
+}
+
+// execute runs one point and books it in the perf counters. The
+// experiment grid is fixed, so an error is a programming error, not an
+// input error — hence the panic.
+func (s Suite) execute(r Run) Metrics {
+	m, err := r.Execute()
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	s.counters.record(m.TotalMS)
+	return m
+}
+
+// parallelize is the engine's entry point: with more than one worker
+// it dry-runs gen in collect mode to discover the grid, prefetches the
+// grid concurrently, and then replays gen serially. gen is a method
+// expression (e.g. Suite.fig3) so the dry pass can run on a copy of
+// the suite with collect mode switched on.
+func (s Suite) parallelize(gen func(Suite) []*Table) []*Table {
+	if s.cache != nil && s.collect == nil && s.workerCount() > 1 {
+		dry := s
+		dry.collect = &runCollector{seen: make(map[string]bool)}
+		gen(dry) // tables discarded; may over-collect (see beta)
+		s.prefetch(dry.collect)
+	}
+	return gen(s)
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/pack"
+)
+
+// renderSuite renders every experiment of a suite to one string.
+func renderSuite(s Suite) string {
+	var sb strings.Builder
+	RenderAll(&sb, s.All())
+	return sb.String()
+}
+
+// TestParallelOutputByteIdentical is the determinism invariant of the
+// sweep engine (DESIGN.md §7): the rendered tables of a parallel sweep
+// must be byte-identical to the serial run's. Host parallelism may only
+// change wall-clock time, never a virtual measurement.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	serial := NewSuite(true, 1)
+	serial.Workers = 1
+	parallel := NewSuite(true, 1)
+	parallel.Workers = 4
+
+	want := renderSuite(serial)
+	got := renderSuite(parallel)
+	if got != want {
+		t.Fatalf("parallel sweep output differs from serial run:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	if runs, _, _ := parallel.PerfSnapshot(); runs == 0 {
+		t.Fatal("parallel suite recorded no machine runs")
+	}
+}
+
+// TestParallelPrefetchWarmsCache verifies the collect/prefetch pass
+// actually routes points through the worker pool: after one parallel
+// experiment, the replay must have answered from the warm cache.
+func TestParallelPrefetchWarmsCache(t *testing.T) {
+	s := NewSuite(true, 1)
+	s.Workers = 4
+	s.Fig3()
+	_, _, hits := s.PerfSnapshot()
+	if hits == 0 {
+		t.Fatal("parallel sweep replay produced no cache hits; the prefetch pass did not run")
+	}
+}
+
+// TestFirstErrorFromAnyRank exercises the first-error capture of
+// Run.Execute: an error raised on a non-zero rank must surface as that
+// error, not as a recovered-panic diagnostic (before the fix only rank
+// 0's error was reported cleanly).
+func TestFirstErrorFromAnyRank(t *testing.T) {
+	base := Run{
+		Layout: dist.MustLayout(dist.Dim{N: 256, P: 4, W: 4}),
+		Gen:    mask.NewRandom(0.5, 1, 256),
+		Opt:    pack.Options{Scheme: pack.SchemeCSS},
+		Mode:   ModePack,
+	}
+
+	boom := errors.New("boom on rank 2")
+	r := base
+	r.failRank = func(rank int) error {
+		if rank == 2 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := r.Execute(); !errors.Is(err, boom) {
+		t.Fatalf("rank-2 failure surfaced as %v, want %v", err, boom)
+	}
+
+	// All ranks failing concurrently must still yield exactly one of
+	// the injected errors (the race the sync.Once arbitrates).
+	r = base
+	r.failRank = func(rank int) error { return fmt.Errorf("rank %d failed", rank) }
+	_, err := r.Execute()
+	if err == nil {
+		t.Fatal("no error surfaced when every rank failed")
+	}
+	if !strings.HasPrefix(err.Error(), "rank ") || !strings.HasSuffix(err.Error(), " failed") {
+		t.Fatalf("concurrent failures surfaced as %q, want one injected rank error", err)
+	}
+}
+
+// BenchmarkQuickSweep measures the whole quick suite end-to-end, the
+// number the -parallel flag is meant to move on multi-core hosts.
+func BenchmarkQuickSweep(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := NewSuite(true, 1)
+				s.Workers = workers
+				s.All()
+			}
+		})
+	}
+}
+
+// BenchmarkMeasurePoint measures one cached-suite experiment point,
+// the unit of work the allocation rework targets.
+func BenchmarkMeasurePoint(b *testing.B) {
+	b.ReportAllocs()
+	r := Run{
+		Layout: dist.MustLayout(dist.Dim{N: 4096, P: 16, W: 16}),
+		Gen:    mask.NewRandom(0.5, 1, 4096),
+		Opt:    pack.Options{Scheme: pack.SchemeCMS},
+		Mode:   ModePack,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

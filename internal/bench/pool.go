@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"sync"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+)
+
+// localBufs is one rank's reusable fill buffers: the local mask, the
+// local data array, and (for UNPACK modes) the local vector portion.
+// A sweep re-fills these for every experiment point; recycling them
+// removes the dominant per-run allocations of the harness.
+type localBufs struct {
+	mask []bool
+	data []int
+	vec  []int
+}
+
+// localBufPool hands fill buffers to SPMD rank bodies. sync.Pool gives
+// a pooled object to at most one goroutine at a time, so concurrent
+// machines (the parallel sweep engine runs many at once) can never
+// observe each other's fills; each rank returns its buffers only after
+// its operation has consumed them.
+var localBufPool = sync.Pool{New: func() any { return new(localBufs) }}
+
+// maskBuf fills (and if needed grows) the pooled mask buffer for the
+// rank's local portion.
+func (b *localBufs) maskBuf(l *dist.Layout, rank int, g mask.Gen) []bool {
+	b.mask = mask.FillLocalInto(b.mask, l, rank, g)
+	return b.mask
+}

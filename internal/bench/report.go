@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// PerfSchema identifies the JSON layout of PerfReport, so trajectory
+// tooling that diffs BENCH_*.json files across commits can detect
+// incompatible changes instead of misreading fields.
+const PerfSchema = "packbench-perf/v1"
+
+// PerfReport is the host-performance baseline packbench -json writes:
+// one entry per requested experiment plus a summed total. Virtual
+// times (the paper's results) are invariant under host parallelism;
+// the wall-clock and allocation figures are what the -parallel flag
+// and the allocation work are expected to move.
+type PerfReport struct {
+	Schema      string           `json:"schema"`
+	GoVersion   string           `json:"go_version"`
+	NumCPU      int              `json:"num_cpu"`
+	Parallel    int              `json:"parallel"`
+	Quick       bool             `json:"quick"`
+	Seed        uint64           `json:"seed"`
+	Experiments []ExperimentPerf `json:"experiments"`
+	Total       ExperimentPerf   `json:"total"`
+}
+
+// ExperimentPerf is the host-side cost of generating one experiment's
+// tables.
+type ExperimentPerf struct {
+	// ID is the experiment id ("fig3", ...); "all" in Total.
+	ID string `json:"id"`
+	// Tables and Rows count the rendered output.
+	Tables int `json:"tables"`
+	Rows   int `json:"rows"`
+	// WallMS is host wall-clock time.
+	WallMS float64 `json:"wall_ms"`
+	// Allocs / AllocBytes are the heap allocation count and volume
+	// (runtime.MemStats.Mallocs/TotalAlloc deltas over the whole
+	// process, so background noise is possible but tiny here).
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// MachineRuns counts emulated machine executions; CacheHits counts
+	// measurements answered from the memo cache instead.
+	MachineRuns int64 `json:"machine_runs"`
+	CacheHits   int64 `json:"cache_hits"`
+	// VirtualMS sums the virtual total time over all machine runs — a
+	// host-independent checksum: it must not change with -parallel.
+	VirtualMS float64 `json:"virtual_ms"`
+}
+
+// RunInstrumented generates one experiment's tables while measuring the
+// host-side cost of doing so.
+func (s Suite) RunInstrumented(id string) ([]*Table, ExperimentPerf, error) {
+	gen, ok := s.Registry()[id]
+	if !ok {
+		return nil, ExperimentPerf{}, fmt.Errorf("bench: unknown experiment %q", id)
+	}
+	runsBefore, virtBefore, hitsBefore := s.PerfSnapshot()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+
+	tables := gen()
+
+	wall := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	runsAfter, virtAfter, hitsAfter := s.PerfSnapshot()
+
+	perf := ExperimentPerf{
+		ID:          id,
+		Tables:      len(tables),
+		WallMS:      float64(wall.Microseconds()) / 1000,
+		Allocs:      msAfter.Mallocs - msBefore.Mallocs,
+		AllocBytes:  msAfter.TotalAlloc - msBefore.TotalAlloc,
+		MachineRuns: runsAfter - runsBefore,
+		CacheHits:   hitsAfter - hitsBefore,
+		VirtualMS:   virtAfter - virtBefore,
+	}
+	for _, t := range tables {
+		perf.Rows += len(t.Rows)
+	}
+	return tables, perf, nil
+}
+
+// SumPerf folds per-experiment figures into the report's total line.
+func SumPerf(perfs []ExperimentPerf) ExperimentPerf {
+	total := ExperimentPerf{ID: "all"}
+	for _, p := range perfs {
+		total.Tables += p.Tables
+		total.Rows += p.Rows
+		total.WallMS += p.WallMS
+		total.Allocs += p.Allocs
+		total.AllocBytes += p.AllocBytes
+		total.MachineRuns += p.MachineRuns
+		total.CacheHits += p.CacheHits
+		total.VirtualMS += p.VirtualMS
+	}
+	return total
+}

@@ -10,6 +10,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"packunpack/internal/dist"
 	"packunpack/internal/mask"
@@ -123,13 +124,39 @@ type Run struct {
 	// Verify additionally checks the result against the sequential
 	// oracle (slower; used by the harness tests).
 	Verify bool
+	// failRank is a test seam: when set, it is consulted after the
+	// operation and its non-nil error is reported as that rank's
+	// failure (exercises the any-rank first-error capture).
+	failRank func(rank int) error
 }
+
+// firstError captures the first error reported by any rank of an SPMD
+// run, race-safely: ranks fail concurrently, and before this existed
+// only rank 0's error surfaced cleanly (other ranks' errors were only
+// visible as recovered panics).
+type firstError struct {
+	once sync.Once
+	err  error
+}
+
+func (f *firstError) set(err error) {
+	if err != nil {
+		f.once.Do(func() { f.err = err })
+	}
+}
+
+// get must only be called after the run has completed (Machine.Run's
+// internal WaitGroup orders the ranks' set calls before it).
+func (f *firstError) get() error { return f.err }
 
 // fillLocalData deterministically fills a processor's local data array;
 // the values encode (rank, offset) so misrouted elements are
-// detectable.
-func fillLocalData(rank, n int) []int {
-	a := make([]int, n)
+// detectable. buf is reused when large enough (nil allocates fresh).
+func fillLocalData(buf []int, rank, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	a := buf[:n]
 	for i := range a {
 		a[i] = rank*(1<<24) + i
 	}
@@ -159,12 +186,19 @@ func (r Run) Execute() (Metrics, error) {
 		size = mask.Count(r.Gen, shape...)
 	}
 
-	var firstErr error
+	var firstErr firstError
 	results := make([]*pack.Result[int], r.Layout.Procs())
 	unpacked := make([]*pack.UnpackResult[int], r.Layout.Procs())
 	runErr := machine.Run(func(p *sim.Proc) {
-		lm := mask.FillLocal(r.Layout, p.Rank(), r.Gen)
-		a := fillLocalData(p.Rank(), r.Layout.LocalSize())
+		// The local mask/data/vector fills are the per-run allocation
+		// hot spot of a sweep; they are recycled through a sync.Pool
+		// (pool.go) once this rank's operation has consumed them — no
+		// result below retains a reference to them.
+		bufs := localBufPool.Get().(*localBufs)
+		defer localBufPool.Put(bufs)
+		lm := bufs.maskBuf(r.Layout, p.Rank(), r.Gen)
+		a := fillLocalData(bufs.data, p.Rank(), r.Layout.LocalSize())
+		bufs.data = a
 		var err error
 		switch r.Mode {
 		case ModePack:
@@ -175,7 +209,8 @@ func (r Run) Execute() (Metrics, error) {
 				err = verr
 				break
 			}
-			v := fillLocalData(p.Rank()+1000, vec.LocalLen(p.Rank()))
+			v := fillLocalData(bufs.vec, p.Rank()+1000, vec.LocalLen(p.Rank()))
+			bufs.vec = v
 			unpacked[p.Rank()], err = pack.Unpack(p, r.Layout, v, size, lm, a, r.Opt)
 		case ModeRed1:
 			results[p.Rank()], err = redist.PackRedistSelected(p, r.Layout, a, lm, r.Opt)
@@ -187,20 +222,22 @@ func (r Run) Execute() (Metrics, error) {
 				err = verr
 				break
 			}
-			v := fillLocalData(p.Rank()+1000, vec.LocalLen(p.Rank()))
+			v := fillLocalData(bufs.vec, p.Rank()+1000, vec.LocalLen(p.Rank()))
+			bufs.vec = v
 			unpacked[p.Rank()], err = redist.UnpackRedistWhole(p, r.Layout, v, size, lm, a, r.Opt)
 		default:
 			err = fmt.Errorf("bench: unknown mode %v", r.Mode)
 		}
-		if err != nil && p.Rank() == 0 {
-			firstErr = err
+		if err == nil && r.failRank != nil {
+			err = r.failRank(p.Rank())
 		}
 		if err != nil {
+			firstErr.set(err)
 			panic(err)
 		}
 	})
-	if firstErr != nil {
-		return Metrics{}, firstErr
+	if err := firstErr.get(); err != nil {
+		return Metrics{}, err
 	}
 	if runErr != nil {
 		return Metrics{}, runErr
@@ -225,7 +262,7 @@ func (r Run) verify(results []*pack.Result[int], unpacked []*pack.UnpackResult[i
 	gmask := mask.FillGlobal(r.Layout, r.Gen)
 	locals := make([][]int, r.Layout.Procs())
 	for rank := range locals {
-		locals[rank] = fillLocalData(rank, r.Layout.LocalSize())
+		locals[rank] = fillLocalData(nil, rank, r.Layout.LocalSize())
 	}
 	global := dist.Gather(r.Layout, locals)
 
@@ -236,7 +273,7 @@ func (r Run) verify(results []*pack.Result[int], unpacked []*pack.UnpackResult[i
 			return err
 		}
 		for rank := 0; rank < r.Layout.Procs(); rank++ {
-			v := fillLocalData(rank+1000, vec.LocalLen(rank))
+			v := fillLocalData(nil, rank+1000, vec.LocalLen(rank))
 			for i, val := range v {
 				vGlobal[vec.ToGlobal(rank, i)] = val
 			}

@@ -1,5 +1,7 @@
 package comm
 
+import "sync"
+
 // A2AOptions tunes the many-to-many personalized communication.
 type A2AOptions struct {
 	// SkipEmpty omits zero-length messages. The default (false)
@@ -35,13 +37,28 @@ func AlltoallV[T any](g Group, send [][]T, wordsPerElem int) [][]T {
 	return AlltoallVOpt(g, send, wordsPerElem, A2AOptions{})
 }
 
+// wordsPool recycles the per-call word-count scratch of AlltoallVOpt.
+// AlltoallVW only reads the counts while sending, so the slice can be
+// returned to the pool as soon as it comes back; sync.Pool hands an
+// object to at most one goroutine at a time, so concurrently running
+// machines never share a scratch slice.
+var wordsPool = sync.Pool{New: func() any { return new([]int) }}
+
 // AlltoallVOpt is AlltoallV with explicit options.
 func AlltoallVOpt[T any](g Group, send [][]T, wordsPerElem int, opt A2AOptions) [][]T {
-	words := make([]int, len(send))
+	wp := wordsPool.Get().(*[]int)
+	words := *wp
+	if cap(words) < len(send) {
+		words = make([]int, len(send))
+	}
+	words = words[:len(send)]
 	for i, buf := range send {
 		words[i] = len(buf) * wordsPerElem
 	}
-	return AlltoallVW(g, send, words, opt)
+	recv := AlltoallVW(g, send, words, opt)
+	*wp = words
+	wordsPool.Put(wp)
+	return recv
 }
 
 // AlltoallVW is the general form of AlltoallV: words[i] gives the

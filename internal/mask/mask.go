@@ -94,6 +94,14 @@ func (Empty) Name() string  { return "empty" }
 // odometer walk keeps global coordinates incrementally, so filling is
 // O(rank * L) without per-element allocation.
 func FillLocal(l *dist.Layout, rank int, g Gen) []bool {
+	return FillLocalInto(nil, l, rank, g)
+}
+
+// FillLocalInto is FillLocal writing into buf, which is grown only when
+// its capacity is too small — sweeps that re-fill masks for many
+// experiment points can recycle one buffer instead of allocating per
+// run.
+func FillLocalInto(buf []bool, l *dist.Layout, rank int, g Gen) []bool {
 	d := l.Rank()
 	coords := l.GridCoords(rank)
 	locals := make([]int, d)
@@ -101,7 +109,10 @@ func FillLocal(l *dist.Layout, rank int, g Gen) []bool {
 	for i := 0; i < d; i++ {
 		global[i] = l.Dims[i].ToGlobal(coords[i], 0)
 	}
-	out := make([]bool, l.LocalSize())
+	if cap(buf) < l.LocalSize() {
+		buf = make([]bool, l.LocalSize())
+	}
+	out := buf[:l.LocalSize()]
 	for off := range out {
 		out[off] = g.At(global)
 		// Advance the local odometer and refresh global coordinates.

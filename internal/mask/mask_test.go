@@ -185,3 +185,34 @@ func TestCountMatchesFillGlobal(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFillLocalIntoReusesBuffer verifies the sweep-harness contract:
+// a large-enough buffer is refilled in place (same backing array), a
+// too-small one is replaced, and both produce FillLocal's values.
+func TestFillLocalIntoReusesBuffer(t *testing.T) {
+	l := dist.MustLayout(dist.Dim{N: 256, P: 4, W: 8})
+	g := NewRandom(0.5, 3, 256)
+	want := FillLocal(l, 1, g)
+
+	buf := make([]bool, 0, l.LocalSize()+10)
+	got := FillLocalInto(buf, l, 1, g)
+	if &got[0] != &buf[:1][0] {
+		t.Error("FillLocalInto allocated despite sufficient capacity")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reused fill differs from FillLocal at %d", i)
+		}
+	}
+
+	small := make([]bool, 1)
+	got = FillLocalInto(small, l, 1, g)
+	if len(got) != l.LocalSize() {
+		t.Fatalf("grown fill has %d elements, want %d", len(got), l.LocalSize())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grown fill differs from FillLocal at %d", i)
+		}
+	}
+}

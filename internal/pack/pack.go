@@ -221,9 +221,40 @@ func packImpl[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, opt Options, 
 	return res, nil
 }
 
+// carvePairArena pre-sizes the per-destination send lists to their
+// exact final lengths: one backing arena, subsliced per destination
+// with zero length and exact capacity, so the append-based compose
+// loops fill without ever reallocating. Destinations with no elements
+// stay nil. The sizing walk is host bookkeeping, not part of the
+// paper's cost model — nothing here is Charged.
+func carvePairArena[T any](send [][]pair[T], counts []int) {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return
+	}
+	arena := make([]pair[T], total)
+	off := 0
+	for dst, c := range counts {
+		if c == 0 {
+			continue
+		}
+		send[dst] = arena[off : off : off+c]
+		off += c
+	}
+}
+
 // composePairsSSS builds the per-destination (datum, rank) messages
 // from the records saved by the simple storage scheme.
 func composePairsSSS[T any](p *sim.Proc, a []T, rnk *ranking.Result, vec dist.VectorDist, send [][]pair[T]) {
+	counts := make([]int, len(send))
+	for _, rec := range rnk.Records {
+		dst, _ := vec.Owner(rnk.RankOf(rec))
+		counts[dst]++
+	}
+	carvePairArena(send, counts)
 	for _, rec := range rnk.Records {
 		r := rnk.RankOf(rec)
 		dst, _ := vec.Owner(r)
@@ -267,12 +298,39 @@ func collectSlice[T any](p *sim.Proc, g sliceGeom, a []T, m []bool, slice, count
 	return buf
 }
 
+// forEachRankRun walks the rank runs of the compact schemes: for every
+// non-empty slice, the consecutive ranks PS_f[slice].. are split at the
+// result vector's block boundaries and fn sees one (destination, count)
+// piece at a time, in compose order. The walk only reads the ranking
+// slice counters, so the compose functions use it as an uncharged
+// sizing pre-pass.
+func forEachRankRun(rnk *ranking.Result, vec dist.VectorDist, slices int, fn func(dst, cnt int)) {
+	for slice := 0; slice < slices; slice++ {
+		n := rnk.PSc[slice]
+		if n == 0 {
+			continue
+		}
+		r := rnk.PSf[slice]
+		taken := 0
+		for taken < n {
+			dst, _ := vec.Owner(r)
+			c := min(vec.BlockRunEnd(r)-r, n-taken)
+			fn(dst, c)
+			r += c
+			taken += c
+		}
+	}
+}
+
 // composePairsCSS regenerates ranks by comparing PS_c with PS_f
 // (Section 6.1) and builds (datum, rank) messages with a second slice
 // scan; only slices with at least one selected element are scanned.
 func composePairsCSS[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, rnk *ranking.Result, vec dist.VectorDist, send [][]pair[T], whole bool) {
 	g := geomOf(l)
-	var tmp []T
+	counts := make([]int, len(send))
+	forEachRankRun(rnk, vec, g.slices, func(dst, cnt int) { counts[dst] += cnt })
+	carvePairArena(send, counts)
+	tmp := make([]T, 0, g.w0)
 	p.Charge(g.slices) // check the counter array, one read per slice
 	for slice := 0; slice < g.slices; slice++ {
 		n := rnk.PSc[slice]
@@ -297,7 +355,33 @@ func composePairsCSS[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, rnk *r
 // more segments (Section 6.2).
 func composeSegmentsCMS[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, rnk *ranking.Result, vec dist.VectorDist, send [][]segMsg[T], whole bool) {
 	g := geomOf(l)
-	var tmp []T
+	// Sizing pre-pass (uncharged host bookkeeping): per-destination
+	// segment counts carve the segment arena; the data words of all
+	// segments share one arena, consumed in compose order.
+	segCounts := make([]int, len(send))
+	totalData := 0
+	forEachRankRun(rnk, vec, g.slices, func(dst, cnt int) {
+		segCounts[dst]++
+		totalData += cnt
+	})
+	totalSegs := 0
+	for _, c := range segCounts {
+		totalSegs += c
+	}
+	if totalSegs > 0 {
+		segArena := make([]segMsg[T], totalSegs)
+		off := 0
+		for dst, c := range segCounts {
+			if c == 0 {
+				continue
+			}
+			send[dst] = segArena[off : off : off+c]
+			off += c
+		}
+	}
+	dataArena := make([]T, totalData)
+	dOff := 0
+	tmp := make([]T, 0, g.w0)
 	p.Charge(g.slices) // check the counter array, one read per slice
 	for slice := 0; slice < g.slices; slice++ {
 		n := rnk.PSc[slice]
@@ -311,7 +395,8 @@ func composeSegmentsCMS[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, rnk
 			dst, _ := vec.Owner(r)
 			fit := vec.BlockRunEnd(r) - r
 			cnt := min(fit, n-taken)
-			data := make([]T, cnt)
+			data := dataArena[dOff : dOff+cnt : dOff+cnt]
+			dOff += cnt
 			copy(data, tmp[taken:taken+cnt])
 			send[dst] = append(send[dst], segMsg[T]{Base: r, Data: data})
 			p.Charge(2) // segment header (base rank + count)

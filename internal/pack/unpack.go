@@ -76,8 +76,49 @@ func Unpack[T any](p *sim.Proc, l *dist.Layout, v []T, nPrime int, m []bool, fie
 	var placement [][]placeSeg
 	var recIdx [][]int
 
+	// The per-destination request/placement lists are pre-sized to
+	// their exact final lengths from the ranking results (uncharged
+	// host bookkeeping), so the append loops below never reallocate.
+	carveReqs := func(counts []int) {
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			return
+		}
+		arena := make([]reqSeg, total)
+		off := 0
+		for dst, c := range counts {
+			if c == 0 {
+				continue
+			}
+			reqs[dst] = arena[off : off : off+c]
+			off += c
+		}
+	}
+
 	if opt.Scheme == SchemeSSS {
 		recIdx = make([][]int, n)
+		counts := make([]int, n)
+		for _, rec := range rnk.Records {
+			dst, _ := vec.Owner(rnk.RankOf(rec))
+			counts[dst]++
+		}
+		carveReqs(counts)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		idxArena := make([]int, total)
+		off := 0
+		for dst, c := range counts {
+			if c == 0 {
+				continue
+			}
+			recIdx[dst] = idxArena[off : off : off+c]
+			off += c
+		}
 		for ri, rec := range rnk.Records {
 			r := rnk.RankOf(rec)
 			dst, _ := vec.Owner(r)
@@ -89,6 +130,22 @@ func Unpack[T any](p *sim.Proc, l *dist.Layout, v []T, nPrime int, m []bool, fie
 	} else {
 		placement = make([][]placeSeg, n)
 		g := geomOf(l)
+		counts := make([]int, n)
+		forEachRankRun(rnk, vec, g.slices, func(dst, cnt int) { counts[dst]++ })
+		carveReqs(counts)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		placeArena := make([]placeSeg, total)
+		off := 0
+		for dst, c := range counts {
+			if c == 0 {
+				continue
+			}
+			placement[dst] = placeArena[off : off : off+c]
+			off += c
+		}
 		p.Charge(g.slices) // check the counter array, one read per slice
 		for slice := 0; slice < g.slices; slice++ {
 			cnt := rnk.PSc[slice]

@@ -290,6 +290,12 @@ type Machine struct {
 	cfg   Config
 	boxes []*mailbox
 
+	// running guards against concurrent Run calls on one machine (the
+	// mailboxes are shared between runs). Distinct Machine values share
+	// no state, so any number of machines may run concurrently — the
+	// parallel sweep harness relies on that.
+	running atomic.Bool
+
 	mu    sync.Mutex
 	stats []Stats
 	spans [][]Span
@@ -332,8 +338,13 @@ func (m *Machine) Params() Params { return m.cfg.Params }
 //
 // Run may be called repeatedly (each call starts all clocks from
 // zero) but not concurrently: the machine's mailboxes are shared
-// between runs.
+// between runs. Concurrent calls are detected and return an error.
+// Distinct machines are fully independent and safe to run in parallel.
 func (m *Machine) Run(body func(p *Proc)) error {
+	if !m.running.CompareAndSwap(false, true) {
+		return fmt.Errorf("sim: Machine.Run called concurrently on the same machine")
+	}
+	defer m.running.Store(false)
 	w := newWatch(m.cfg.Procs, m.boxes)
 	go w.monitor()
 	defer close(w.stop)
