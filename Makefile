@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke ci
+.PHONY: all build vet staticcheck test race bench smoke ci
 
 all: build
 
@@ -9,6 +9,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is available (CI installs it; local
+# runs without it just skip).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -19,8 +28,10 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
-# smoke proves the parallel sweep engine end to end on one experiment.
+# smoke proves the parallel sweep engine end to end on one experiment,
+# under both emulator scheduling modes.
 smoke:
-	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 4
+	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 4 -sched coop
+	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 4 -sched goroutine
 
-ci: vet build race smoke
+ci: vet staticcheck build race smoke

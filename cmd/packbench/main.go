@@ -7,6 +7,7 @@
 //	packbench -exp fig3           # one artifact: fig3|fig4|fig5|table1|table2|scale|prs|ablate
 //	packbench -exp table2 -quick  # trimmed parameter sets (seconds instead of minutes)
 //	packbench -parallel 1         # serial sweep (output is identical either way)
+//	packbench -sched goroutine    # concurrent emulator mode (default: coop)
 //	packbench -json perf.json     # also write a host-performance report
 //	packbench -list               # show the available experiment ids
 //
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"packunpack/internal/bench"
+	"packunpack/internal/sim"
 )
 
 func main() {
@@ -37,12 +39,20 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outPath := flag.String("out", "", "also write the tables to this file")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "host worker pool size for the sweep engine (1 = serial)")
+	schedFlag := flag.String("sched", "coop", "emulator scheduling mode: coop (cooperative, virtual-clock ordered) or goroutine (concurrent)")
 	jsonPath := flag.String("json", "", "write a host-performance report (schema "+bench.PerfSchema+") to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
+	sched, err := sim.ParseSched(*schedFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+		os.Exit(2)
+	}
+
 	suite := bench.NewSuite(*quick, *seed)
 	suite.Workers = *parallel
+	suite.Sched = sched
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -84,7 +94,7 @@ func main() {
 
 	start := time.Now()
 	var tables []*bench.Table
-	perfs := make([]bench.ExperimentPerf, 0, len(ids))
+	perfs := make([]bench.ExperimentPerf, 0, 2*len(ids))
 	for _, id := range ids {
 		t, perf, err := suite.RunInstrumented(id)
 		if err != nil {
@@ -92,10 +102,10 @@ func main() {
 			os.Exit(1)
 		}
 		tables = append(tables, t...)
-		perfs = append(perfs, perf)
+		perfs = append(perfs, perf...)
 	}
 
-	fmt.Printf("packbench: %s (quick=%v, seed=%d)\n", *exp, *quick, *seed)
+	fmt.Printf("packbench: %s (quick=%v, seed=%d, sched=%s)\n", *exp, *quick, *seed, sched)
 	fmt.Printf("machine model: CM-5-flavoured two-level cost model; times are virtual ms\n\n")
 	bench.RenderAll(os.Stdout, tables)
 	if *outPath != "" {
@@ -117,6 +127,7 @@ func main() {
 			GoVersion:   runtime.Version(),
 			NumCPU:      runtime.NumCPU(),
 			Parallel:    *parallel,
+			Sched:       sched.String(),
 			Quick:       *quick,
 			Seed:        *seed,
 			Experiments: perfs,

@@ -63,12 +63,15 @@ func (c *runCache) len() int {
 	return len(c.m)
 }
 
-// runKey identifies a measurement configuration for memoization.
+// runKey identifies a measurement configuration for memoization. The
+// scheduler mode is part of the key out of caution — the two modes
+// produce identical metrics (the cross-mode equivalence contract), but
+// a cache must never be able to blur a configuration distinction.
 func runKey(r Run) string {
-	return fmt.Sprintf("%s|%s|%v|%v|%v|%d|%v|%v|%v|%v|%v",
+	return fmt.Sprintf("%s|%s|%v|%v|%v|%d|%v|%v|%v|%v|%v|%v",
 		r.Layout.String(), r.Gen.Name(), r.Opt.Scheme, r.Mode, r.Opt.PRS,
 		r.Opt.VectorW, r.Opt.WholeSliceScan, r.Opt.A2A, r.Opt.SeparatePrefixReduce,
-		r.SelfSendFree, r.Params)
+		r.SelfSendFree, r.Params, r.Sched)
 }
 
 // runCollector accumulates the distinct experiment points a generator
@@ -209,17 +212,38 @@ func (s Suite) execute(r Run) Metrics {
 	return m
 }
 
-// parallelize is the engine's entry point: with more than one worker
-// it dry-runs gen in collect mode to discover the grid, prefetches the
-// grid concurrently, and then replays gen serially. gen is a method
-// expression (e.g. Suite.fig3) so the dry pass can run on a copy of
-// the suite with collect mode switched on.
+// parallelize is the engine's entry point: it dry-runs gen in collect
+// mode to discover the measurement grid, prefetches the grid across
+// the worker pool, and then replays gen serially against the warm
+// cache. gen is a method expression (e.g. Suite.fig3) so the dry pass
+// can run on a copy of the suite with collect mode switched on.
+//
+// The prefetch pass runs when there is host parallelism to exploit —
+// or whenever the instrumented runner splits the phases (prefetchOnly
+// / replayOnly), which it does at every worker count so that the
+// per-experiment rows of the perf report measure exactly the same
+// warm-cache replay regardless of -parallel (report.go). With a single
+// worker there is no parallelism to feed, so the prefetch phase skips
+// the dry pass (whose grid can over-collect on data-dependent
+// generators) and simply runs the generator serially, discarding the
+// tables: measure fills the shared cache with exactly the points the
+// replay will read.
 func (s Suite) parallelize(gen func(Suite) []*Table) []*Table {
-	if s.cache != nil && s.collect == nil && s.workerCount() > 1 {
+	serialPrefetch := s.prefetchOnly && s.workerCount() <= 1
+	if s.cache != nil && s.collect == nil && !s.replayOnly && !serialPrefetch &&
+		(s.workerCount() > 1 || s.prefetchOnly) {
 		dry := s
 		dry.collect = &runCollector{seen: make(map[string]bool)}
 		gen(dry) // tables discarded; may over-collect (see beta)
 		s.prefetch(dry.collect)
+	}
+	if s.prefetchOnly {
+		if serialPrefetch {
+			run := s
+			run.prefetchOnly = false
+			gen(run)
+		}
+		return nil
 	}
 	return gen(s)
 }

@@ -9,37 +9,50 @@ import (
 // PerfSchema identifies the JSON layout of PerfReport, so trajectory
 // tooling that diffs BENCH_*.json files across commits can detect
 // incompatible changes instead of misreading fields.
-const PerfSchema = "packbench-perf/v1"
+//
+// v2: per-experiment rows now measure only the serial warm-cache
+// replay (so allocation and wall figures are invariant under
+// -parallel), while each experiment's grid execution is reported as
+// its own "<id>/prefetch" line; a top-level "sched" field records the
+// emulator scheduling mode.
+const PerfSchema = "packbench-perf/v2"
 
 // PerfReport is the host-performance baseline packbench -json writes:
 // one entry per requested experiment plus a summed total. Virtual
 // times (the paper's results) are invariant under host parallelism;
 // the wall-clock and allocation figures are what the -parallel flag
-// and the allocation work are expected to move.
+// and the scheduler mode are expected to move.
 type PerfReport struct {
 	Schema      string           `json:"schema"`
 	GoVersion   string           `json:"go_version"`
 	NumCPU      int              `json:"num_cpu"`
 	Parallel    int              `json:"parallel"`
+	Sched       string           `json:"sched"`
 	Quick       bool             `json:"quick"`
 	Seed        uint64           `json:"seed"`
 	Experiments []ExperimentPerf `json:"experiments"`
 	Total       ExperimentPerf   `json:"total"`
 }
 
-// ExperimentPerf is the host-side cost of generating one experiment's
-// tables.
+// ExperimentPerf is the host-side cost of one generation phase: the
+// "<id>/prefetch" line covers discovering and executing the
+// experiment's measurement grid (all machine runs, all worker-pool
+// parallelism, the bulk of the allocations); the "<id>" line covers
+// the serial replay that renders the tables from the warm cache and is
+// byte-for-byte the same work at any -parallel setting.
 type ExperimentPerf struct {
-	// ID is the experiment id ("fig3", ...); "all" in Total.
+	// ID is the phase id ("fig3/prefetch", "fig3", ...); "all" in Total.
 	ID string `json:"id"`
-	// Tables and Rows count the rendered output.
+	// Tables and Rows count the rendered output (replay lines only).
 	Tables int `json:"tables"`
 	Rows   int `json:"rows"`
 	// WallMS is host wall-clock time.
 	WallMS float64 `json:"wall_ms"`
 	// Allocs / AllocBytes are the heap allocation count and volume
-	// (runtime.MemStats.Mallocs/TotalAlloc deltas over the whole
-	// process, so background noise is possible but tiny here).
+	// (runtime.MemStats.Mallocs/TotalAlloc deltas around this phase
+	// only). Because machine executions are confined to the prefetch
+	// phase, the per-experiment replay figures no longer absorb
+	// concurrent prefetch workers' allocations and match a serial run.
 	Allocs     uint64 `json:"allocs"`
 	AllocBytes uint64 `json:"alloc_bytes"`
 	// MachineRuns counts emulated machine executions; CacheHits counts
@@ -51,19 +64,14 @@ type ExperimentPerf struct {
 	VirtualMS float64 `json:"virtual_ms"`
 }
 
-// RunInstrumented generates one experiment's tables while measuring the
-// host-side cost of doing so.
-func (s Suite) RunInstrumented(id string) ([]*Table, ExperimentPerf, error) {
-	gen, ok := s.Registry()[id]
-	if !ok {
-		return nil, ExperimentPerf{}, fmt.Errorf("bench: unknown experiment %q", id)
-	}
+// instrument measures the host-side cost of running fn.
+func (s Suite) instrument(id string, fn func() []*Table) ([]*Table, ExperimentPerf) {
 	runsBefore, virtBefore, hitsBefore := s.PerfSnapshot()
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 
-	tables := gen()
+	tables := fn()
 
 	wall := time.Since(start)
 	var msAfter runtime.MemStats
@@ -83,10 +91,34 @@ func (s Suite) RunInstrumented(id string) ([]*Table, ExperimentPerf, error) {
 	for _, t := range tables {
 		perf.Rows += len(t.Rows)
 	}
-	return tables, perf, nil
+	return tables, perf
 }
 
-// SumPerf folds per-experiment figures into the report's total line.
+// RunInstrumented generates one experiment's tables while measuring
+// the host-side cost of doing so, split into the engine's two phases.
+// It returns the "<id>/prefetch" perf line (grid execution, including
+// any worker-pool parallelism) followed by the "<id>" line (the serial
+// warm-cache replay). Splitting the phases is what makes the
+// per-experiment rows -parallel-invariant: previously the whole
+// generation was measured at once, so prefetch workers' allocations
+// bled into per-experiment figures and disagreed with a serial run.
+func (s Suite) RunInstrumented(id string) ([]*Table, []ExperimentPerf, error) {
+	if _, ok := s.Registry()[id]; !ok {
+		return nil, nil, fmt.Errorf("bench: unknown experiment %q", id)
+	}
+
+	pre := s
+	pre.prefetchOnly = true
+	_, prePerf := s.instrument(id+"/prefetch", pre.Registry()[id])
+
+	rep := s
+	rep.replayOnly = true
+	tables, perf := s.instrument(id, rep.Registry()[id])
+
+	return tables, []ExperimentPerf{prePerf, perf}, nil
+}
+
+// SumPerf folds per-phase figures into the report's total line.
 func SumPerf(perfs []ExperimentPerf) ExperimentPerf {
 	total := ExperimentPerf{ID: "all"}
 	for _, p := range perfs {

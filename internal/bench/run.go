@@ -118,6 +118,12 @@ type Run struct {
 	Mode   Mode
 	// Params are the machine constants; zero value means CM5Params.
 	Params sim.Params
+	// Sched selects the emulator's execution mode. The sweep engine
+	// defaults to the cooperative scheduler (machines are already
+	// host-parallel across experiment points, so within-machine
+	// goroutine concurrency only adds contention); the zero value is
+	// the concurrent goroutine mode, matching sim.Config.
+	Sched sim.Sched
 	// SelfSendFree shortcuts self messages to zero cost (ablation of
 	// the paper's policy of routing them through the network).
 	SelfSendFree bool
@@ -170,7 +176,7 @@ func (r Run) Execute() (Metrics, error) {
 	if params == (sim.Params{}) {
 		params = sim.CM5Params()
 	}
-	machine, err := sim.New(sim.Config{Procs: r.Layout.Procs(), Params: params, SelfSendFree: r.SelfSendFree})
+	machine, err := sim.New(sim.Config{Procs: r.Layout.Procs(), Params: params, SelfSendFree: r.SelfSendFree, Sched: r.Sched})
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/pack"
+	"packunpack/internal/sim"
+)
+
+// runStats executes one PACK or UNPACK operation on a fresh machine
+// under the given scheduler and returns the per-processor statistics.
+func runStats(t *testing.T, sched sim.Sched, mode Mode, scheme pack.Scheme, procs int) []sim.Stats {
+	t.Helper()
+	n := 64 * procs
+	l := dist.MustLayout(dist.Dim{N: n, P: procs, W: 8})
+	gen := mask.NewRandom(0.45, 7, n)
+	size := mask.Count(gen, n)
+	machine := sim.MustNew(sim.Config{Procs: procs, Params: sim.CM5Params(), Sched: sched})
+	err := machine.Run(func(p *sim.Proc) {
+		lm := mask.FillLocalInto(nil, l, p.Rank(), gen)
+		a := fillLocalData(nil, p.Rank(), l.LocalSize())
+		var err error
+		switch mode {
+		case ModePack:
+			_, err = pack.Pack(p, l, a, lm, pack.Options{Scheme: scheme})
+		case ModeUnpack:
+			vec, verr := dist.NewVectorDist(size, procs, 0)
+			if verr != nil {
+				panic(verr)
+			}
+			v := fillLocalData(nil, p.Rank()+1000, vec.LocalLen(p.Rank()))
+			_, err = pack.Unpack(p, l, v, size, lm, a, pack.Options{Scheme: scheme})
+		}
+		if err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sched=%v mode=%v scheme=%v P=%d: %v", sched, mode, scheme, procs, err)
+	}
+	return machine.Stats()
+}
+
+// TestSchedulerModesEquivalent is the cross-mode equivalence contract
+// at the algorithm level: over a PACK/UNPACK × scheme × machine-size
+// grid, the cooperative and the goroutine scheduler must produce
+// identical per-processor Stats — clock, ops, message and word counts,
+// and per-phase breakdowns. (UNPACK under CMS is excluded: the compact
+// message scheme applies to PACK only.)
+func TestSchedulerModesEquivalent(t *testing.T) {
+	type cell struct {
+		mode    Mode
+		schemes []pack.Scheme
+	}
+	grid := []cell{
+		{ModePack, []pack.Scheme{pack.SchemeSSS, pack.SchemeCSS, pack.SchemeCMS}},
+		{ModeUnpack, []pack.Scheme{pack.SchemeSSS, pack.SchemeCSS}},
+	}
+	for _, c := range grid {
+		for _, scheme := range c.schemes {
+			for _, procs := range []int{2, 4, 8, 16} {
+				conc := runStats(t, sim.SchedGoroutine, c.mode, scheme, procs)
+				coop := runStats(t, sim.SchedCooperative, c.mode, scheme, procs)
+				if !reflect.DeepEqual(conc, coop) {
+					t.Errorf("mode=%v scheme=%v P=%d: stats diverge between schedulers\ngoroutine: %+v\ncoop:      %+v",
+						c.mode, scheme, procs, conc, coop)
+				}
+			}
+		}
+	}
+}
+
+// TestSuiteOutputSchedInvariant: the rendered tables must not depend on
+// the emulator scheduling mode (the sweep-level face of the same
+// contract).
+func TestSuiteOutputSchedInvariant(t *testing.T) {
+	coop := NewSuite(true, 1)
+	coop.Workers = 2
+	gor := NewSuite(true, 1)
+	gor.Workers = 2
+	gor.Sched = sim.SchedGoroutine
+	if a, b := renderSuite(coop), renderSuite(gor); a != b {
+		t.Fatal("rendered tables differ between scheduler modes")
+	}
+}
+
+// TestPerExperimentPerfParallelInvariant is the regression test for
+// the allocation-attribution bug: per-experiment rows of the perf
+// report used to be computed from process-wide MemStats deltas around
+// the whole generation, so under -parallel the prefetch workers'
+// allocations bled into them. Now the rows cover only the serial
+// warm-cache replay and must be identical — like virtual_ms always was
+// — whatever the worker count.
+func TestPerExperimentPerfParallelInvariant(t *testing.T) {
+	ids := []string{"fig3", "fig4", "prs"}
+	collect := func(workers int) map[string]ExperimentPerf {
+		s := NewSuite(true, 1)
+		s.Workers = workers
+		out := make(map[string]ExperimentPerf)
+		for _, id := range ids {
+			_, perfs, err := s.RunInstrumented(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range perfs {
+				if !strings.HasSuffix(p.ID, "/prefetch") {
+					out[p.ID] = p
+				}
+			}
+		}
+		return out
+	}
+	serial, parallel := collect(1), collect(4)
+	// MemStats deltas are process-wide, so a handful of
+	// runtime-internal allocations (stack growth, sudog caches, GC
+	// bookkeeping) can land inside either snapshot window; the bug this
+	// guards against inflated the parallel rows by the entire grid
+	// execution (tens of thousands of allocations), so a few-percent
+	// band distinguishes the two regimes with a wide margin.
+	close := func(a, b, slack uint64) bool {
+		d := a - b
+		if b > a {
+			d = b - a
+		}
+		limit := max(a, b) / 50
+		if limit < slack {
+			limit = slack
+		}
+		return d <= limit
+	}
+	for _, id := range ids {
+		sp, pp := serial[id], parallel[id]
+		if sp.Rows != pp.Rows || sp.Tables != pp.Tables {
+			t.Errorf("%s: rendered output differs: serial %d/%d, parallel %d/%d rows/tables", id, sp.Rows, sp.Tables, pp.Rows, pp.Tables)
+		}
+		if sp.MachineRuns != pp.MachineRuns || sp.VirtualMS != pp.VirtualMS {
+			t.Errorf("%s: replay executed machines differently: serial %d runs / %.3f ms, parallel %d runs / %.3f ms",
+				id, sp.MachineRuns, sp.VirtualMS, pp.MachineRuns, pp.VirtualMS)
+		}
+		if !close(sp.Allocs, pp.Allocs, 64) || !close(sp.AllocBytes, pp.AllocBytes, 16384) {
+			t.Errorf("%s: per-experiment allocation row not -parallel-invariant: serial %d allocs / %d B, parallel %d allocs / %d B",
+				id, sp.Allocs, sp.AllocBytes, pp.Allocs, pp.AllocBytes)
+		}
+	}
+}

@@ -175,6 +175,41 @@ func TestPrefixReductionSumAlgorithms(t *testing.T) {
 	}
 }
 
+// TestPRSSplitShortVectors pins the explicit-PRSSplit edge the auto
+// rule hides: with m < n the even split hands some members zero-length
+// pieces (pieceBounds gives lo == hi), so those members combine
+// nothing, send empty return messages, and must still terminate with
+// the right full-length results. The auto rule never picks split here
+// (it falls back to direct for m < n), so only an explicit algorithm
+// choice reaches this path.
+func TestPRSSplitShortVectors(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		for _, m := range []int{0, 1, 2, n - 1} {
+			if m >= n { // this test is about m < n only
+				continue
+			}
+			name := fmt.Sprintf("n=%d m=%d", n, m)
+			// Oracle from the direct algorithm over the same inputs.
+			wantPrefix := make([][]int, n)
+			wantTotal := make([][]int, n)
+			runGroups(t, n, sim.Params{}, func(g Group) {
+				p, tt := g.PrefixReductionSum(prsVec(g.Index(), m), PRSDirect)
+				wantPrefix[g.Index()], wantTotal[g.Index()] = p, tt
+			})
+			runGroups(t, n, sim.Params{}, func(g Group) {
+				prefix, total := g.PrefixReductionSum(prsVec(g.Index(), m), PRSSplit)
+				if len(prefix) != m || len(total) != m {
+					panic(fmt.Sprintf("%s idx=%d: result lengths %d/%d, want %d", name, g.Index(), len(prefix), len(total), m))
+				}
+				if !reflect.DeepEqual(prefix, wantPrefix[g.Index()]) || !reflect.DeepEqual(total, wantTotal[g.Index()]) {
+					panic(fmt.Sprintf("%s idx=%d: split (%v, %v) != direct (%v, %v)",
+						name, g.Index(), prefix, total, wantPrefix[g.Index()], wantTotal[g.Index()]))
+				}
+			})
+		}
+	}
+}
+
 func TestPRSCostShapes(t *testing.T) {
 	// With M large, split must beat direct on many processors; with M
 	// tiny, direct must win. This is the paper's experimental claim

@@ -164,8 +164,8 @@ func TestPackVectorBadPadPortion(t *testing.T) {
 }
 
 // runUnpackW is runUnpack with full options (vector distribution
-// aware).
-func runUnpackW(t *testing.T, l *dist.Layout, gen mask.Gen, slack int, opt Options) {
+// aware). It returns the machine so callers can inspect cost stats.
+func runUnpackW(t *testing.T, l *dist.Layout, gen mask.Gen, slack int, opt Options) *sim.Machine {
 	t.Helper()
 	gmask := mask.FillGlobal(l, gen)
 	size := seq.Count(gmask)
@@ -212,4 +212,5 @@ func runUnpackW(t *testing.T, l *dist.Layout, gen mask.Gen, slack int, opt Optio
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("unpacked array mismatch:\n got %v\nwant %v", got, want)
 	}
+	return m
 }

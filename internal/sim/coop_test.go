@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// schedModes enumerates both execution modes for cross-mode tests.
+var schedModes = []Sched{SchedGoroutine, SchedCooperative}
+
+// irregularBody is a deterministic exchange pattern with phases,
+// uneven message sizes, and rank-dependent local work — a workload
+// whose stats expose any divergence between the two schedulers.
+func irregularBody(p *Proc) {
+	n := p.NProcs()
+	p.Charge(p.Rank()*3 + 1)
+	p.SetPhase("exchange")
+	for r := 1; r < n; r++ {
+		dst := (p.Rank() + r) % n
+		buf := make([]int, (p.Rank()*r+dst)%5)
+		for i := range buf {
+			buf[i] = dst
+		}
+		p.SendInts(dst, r, buf)
+	}
+	for r := 1; r < n; r++ {
+		src := (p.Rank() - r + n) % n
+		v := p.RecvInts(src, r)
+		for _, x := range v {
+			if x != p.Rank() {
+				panic("misrouted payload")
+			}
+		}
+	}
+	p.SetPhase("post")
+	p.Charge((n - p.Rank()) * 2)
+	if p.Rank() == 0 {
+		p.Send(n-1, 99, nil, 7)
+	}
+	if p.Rank() == n-1 {
+		p.Recv(0, 99)
+	}
+}
+
+// TestCoopMatchesGoroutineStats is the cross-mode equivalence
+// contract: identical per-processor Stats (clock, ops, msgs, words,
+// phase breakdowns) and identical recorded timelines, whatever the
+// scheduler.
+func TestCoopMatchesGoroutineStats(t *testing.T) {
+	for _, procs := range []int{2, 4, 8, 16} {
+		var stats [][]Stats
+		var spans [][][]Span
+		for _, sched := range schedModes {
+			m := MustNew(Config{Procs: procs, Params: CM5Params(), Sched: sched, Record: true})
+			if err := m.Run(irregularBody); err != nil {
+				t.Fatalf("P=%d %v: %v", procs, sched, err)
+			}
+			stats = append(stats, m.Stats())
+			spans = append(spans, m.Spans())
+		}
+		if !reflect.DeepEqual(stats[0], stats[1]) {
+			t.Errorf("P=%d: stats differ between schedulers:\ngoroutine: %+v\ncoop:      %+v", procs, stats[0], stats[1])
+		}
+		if !reflect.DeepEqual(spans[0], spans[1]) {
+			t.Errorf("P=%d: spans differ between schedulers", procs)
+		}
+	}
+}
+
+// TestCoopVirtualClockOrder pins the scheduling contract: among
+// runnable processors the smallest virtual clock runs next (ties to the
+// lowest rank). Appending to the shared log without synchronization is
+// safe precisely because the cooperative mode runs one body at a time.
+func TestCoopVirtualClockOrder(t *testing.T) {
+	var log []string
+	m := MustNew(Config{Procs: 4, Params: Params{Tau: 1, Delta: 1}, Sched: SchedCooperative})
+	err := m.Run(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Recv(3, 9)
+			p.Charge(100)
+			p.Send(1, 1, nil, 0)
+			p.Send(2, 2, nil, 0)
+			log = append(log, "0")
+		case 1:
+			p.Charge(50)
+			p.Recv(0, 1)
+			log = append(log, "1")
+		case 2:
+			p.Charge(5)
+			p.Recv(0, 2)
+			log = append(log, "2")
+		case 3:
+			p.Send(0, 9, nil, 0)
+			log = append(log, "3")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 2 (clock 5) must be resumed before rank 1 (clock 50) once
+	// rank 0's sends unblock them both.
+	want := []string{"3", "0", "2", "1"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("execution order %v, want %v", log, want)
+	}
+}
+
+// TestCoopDeadlockExactAndDeterministic: a mismatched receive must be
+// reported as a deadlock error instantly (no ticker, no sleeps) and
+// with a byte-identical diagnostic on every run.
+func TestCoopDeadlockExactAndDeterministic(t *testing.T) {
+	run := func() string {
+		m := MustNew(Config{Procs: 3, Sched: SchedCooperative})
+		err := m.Run(func(p *Proc) {
+			p.Recv((p.Rank()+1)%3, 42)
+		})
+		if err == nil {
+			t.Fatal("wedged machine returned no error")
+		}
+		return err.Error()
+	}
+	first := run()
+	if !strings.Contains(first, "deadlock") {
+		t.Fatalf("diagnostic lacks 'deadlock': %q", first)
+	}
+	if !strings.Contains(first, "processor 0 waits for (src=1, tag=42)") ||
+		!strings.Contains(first, "processor 2 waits for (src=0, tag=42)") {
+		t.Fatalf("diagnostic lacks the wait-for table: %q", first)
+	}
+	for i := 0; i < 3; i++ {
+		if again := run(); again != first {
+			t.Fatalf("deadlock diagnostic not deterministic:\n%q\n%q", first, again)
+		}
+	}
+}
+
+// TestCoopDeadlockPartial mirrors the goroutine-mode test: one clean
+// finisher must not hide the wedge of the rest.
+func TestCoopDeadlockPartial(t *testing.T) {
+	m := MustNew(Config{Procs: 3, Sched: SchedCooperative})
+	err := m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			return
+		}
+		p.Recv(3-p.Rank(), 7)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock diagnostic, got %v", err)
+	}
+	if strings.Contains(err.Error(), "processor 0 waits") {
+		t.Fatalf("finished processor listed as a waiter: %v", err)
+	}
+}
+
+// TestCoopLongPingPong drives many block/resume cycles through the
+// scheduler (the pattern that stressed the goroutine-mode monitor).
+func TestCoopLongPingPong(t *testing.T) {
+	m := MustNew(Config{Procs: 2, Sched: SchedCooperative})
+	err := m.Run(func(p *Proc) {
+		other := 1 - p.Rank()
+		for i := 0; i < 2000; i++ {
+			if p.Rank() == 0 {
+				p.Send(other, i, nil, 0)
+				p.Recv(other, i)
+			} else {
+				p.Recv(other, i)
+				p.Send(other, i, nil, 0)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("false deadlock: %v", err)
+	}
+}
+
+// TestCoopRunReusable: repeated runs restart clocks and leave no
+// scheduler state behind.
+func TestCoopRunReusable(t *testing.T) {
+	m := MustNew(Config{Procs: 2, Params: Params{Delta: 1}, Sched: SchedCooperative})
+	for i := 0; i < 3; i++ {
+		if err := m.Run(func(p *Proc) { p.Charge(4) }); err != nil {
+			t.Fatal(err)
+		}
+		if m.MaxClock() != 4 {
+			t.Fatalf("run %d: clock %v, want 4", i, m.MaxClock())
+		}
+	}
+}
+
+// TestCoopUndeliveredMessages: the post-run mailbox check works the
+// same in cooperative mode.
+func TestCoopUndeliveredMessages(t *testing.T) {
+	m := MustNew(Config{Procs: 2, Sched: SchedCooperative})
+	err := m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 7, nil, 0)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "undelivered") {
+		t.Fatalf("expected undelivered-message error, got %v", err)
+	}
+}
+
+// TestPanicPreferredOverInducedDeadlock is the regression test for the
+// masked-root-cause bug: when one processor panics, its peers wedge
+// waiting for messages it will never send, and before the fix Run
+// returned the lowest-rank error — usually a secondary deadlock
+// diagnostic — instead of the originating panic. Both modes must name
+// the real panic.
+func TestPanicPreferredOverInducedDeadlock(t *testing.T) {
+	for _, sched := range schedModes {
+		m := MustNew(Config{Procs: 4, Sched: sched})
+		err := m.Run(func(p *Proc) {
+			if p.Rank() == 2 {
+				panic("root cause on rank 2")
+			}
+			p.Recv(2, 5) // rank 2 dies before sending: peers wedge
+		})
+		if err == nil {
+			t.Fatalf("%v: no error surfaced", sched)
+		}
+		if !strings.Contains(err.Error(), "processor 2 panicked: root cause on rank 2") {
+			t.Errorf("%v: root-cause panic masked: %v", sched, err)
+		}
+		if strings.Contains(err.Error(), "deadlock") {
+			t.Errorf("%v: induced deadlock diagnostics not suppressed: %v", sched, err)
+		}
+	}
+}
+
+// TestRunJoinsConcurrentErrors: several non-deadlock failures are all
+// reported, aggregated with errors.Join (before the fix only the
+// lowest-rank error surfaced).
+func TestRunJoinsConcurrentErrors(t *testing.T) {
+	for _, sched := range schedModes {
+		m := MustNew(Config{Procs: 4, Sched: sched})
+		err := m.Run(func(p *Proc) {
+			if p.Rank() == 1 || p.Rank() == 3 {
+				panic("boom")
+			}
+		})
+		if err == nil {
+			t.Fatalf("%v: no error surfaced", sched)
+		}
+		for _, want := range []string{"processor 1 panicked", "processor 3 panicked"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%v: aggregated error misses %q: %v", sched, want, err)
+			}
+		}
+	}
+}
+
+// TestTakeZeroesVacatedSlot is the regression test for the payload
+// retention leak: compacting the queue must clear the vacated tail
+// slot so the removed message's payload becomes collectable.
+func TestTakeZeroesVacatedSlot(t *testing.T) {
+	b := newMailbox()
+	b.put(message{src: 0, tag: 1, payload: "keep"})
+	b.put(message{src: 0, tag: 2, payload: "leak"})
+	backing := b.queue[:2]
+	w := newWatch(1, []*mailbox{b})
+	if got := b.take(w, 0, 0, 1); got.payload != "keep" {
+		t.Fatalf("took %v, want the tag-1 message", got.payload)
+	}
+	if backing[1].payload != nil {
+		t.Fatalf("vacated tail slot still references payload %v", backing[1].payload)
+	}
+	if len(b.queue) != 1 || b.queue[0].payload != "leak" {
+		t.Fatalf("queue corrupted by compaction: %+v", b.queue)
+	}
+}
+
+func TestParseSched(t *testing.T) {
+	cases := map[string]Sched{"goroutine": SchedGoroutine, "coop": SchedCooperative, "cooperative": SchedCooperative}
+	for in, want := range cases {
+		got, err := ParseSched(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSched(%q) = %v, %v", in, got, err)
+		}
+		if got.String() == "" {
+			t.Errorf("Sched(%v).String empty", got)
+		}
+	}
+	if _, err := ParseSched("preemptive"); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}

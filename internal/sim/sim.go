@@ -19,6 +19,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -48,10 +49,59 @@ func CM5Params() Params {
 	return Params{Tau: 86, Mu: 0.5, Delta: 0.15}
 }
 
+// Sched selects how the machine schedules its logical processors on
+// the host. The two modes produce identical virtual results (clocks,
+// stats, phase breakdowns, payload routing); they differ only in host
+// cost and in how deadlocks are detected.
+type Sched int
+
+const (
+	// SchedGoroutine runs the P processor bodies as freely scheduled
+	// goroutines: within-machine host parallelism, mailboxes guarded by
+	// mutex/condvar, and a polling monitor that detects deadlock
+	// heuristically (a stable all-blocked picture across a 2 ms scan).
+	SchedGoroutine Sched = iota
+	// SchedCooperative runs the bodies as coroutine-style goroutines
+	// scheduled one at a time in virtual-clock order: the runnable
+	// processor with the smallest clock runs until it blocks in Recv.
+	// Exactly one body runs at any moment, so mailbox access needs no
+	// locks, and the scheduler sees every blocked receive, which makes
+	// deadlock an exact structural condition (all live processors
+	// blocked with no matching message anywhere) detected instantly
+	// with a full wait-for diagnostic — no ticker, no trip latency, no
+	// host-load sensitivity. Preferred when machines are already run in
+	// parallel across experiment points (the sweep engine's default).
+	SchedCooperative
+)
+
+func (s Sched) String() string {
+	switch s {
+	case SchedGoroutine:
+		return "goroutine"
+	case SchedCooperative:
+		return "coop"
+	}
+	return fmt.Sprintf("Sched(%d)", int(s))
+}
+
+// ParseSched maps the packbench -sched flag values to a Sched.
+func ParseSched(s string) (Sched, error) {
+	switch s {
+	case "goroutine":
+		return SchedGoroutine, nil
+	case "coop", "cooperative":
+		return SchedCooperative, nil
+	}
+	return 0, fmt.Errorf("sim: unknown scheduler %q (want goroutine or coop)", s)
+}
+
 // Config describes a machine to build.
 type Config struct {
 	// Procs is the number of logical processors, P >= 1.
 	Procs int
+	// Sched selects the execution mode; the zero value is
+	// SchedGoroutine, the historical concurrent mode.
+	Sched Sched
 	// Params are the cost-model constants. Zero values are allowed
 	// (they produce a free machine, useful in unit tests).
 	Params Params
@@ -113,6 +163,32 @@ func (b *mailbox) put(m message) {
 	b.mu.Unlock()
 }
 
+// removeAt deletes and returns queue[i], compacting the queue and
+// zeroing the vacated tail slot so the removed message's payload does
+// not stay reachable through the slice's spare capacity (a payload
+// retention leak across long runs otherwise). Caller must hold b.mu in
+// goroutine mode; in cooperative mode access is already serialized.
+func (b *mailbox) removeAt(i int) message {
+	m := b.queue[i]
+	last := len(b.queue) - 1
+	copy(b.queue[i:], b.queue[i+1:])
+	b.queue[last] = message{}
+	b.queue = b.queue[:last]
+	return m
+}
+
+// deadlockError is the panic value raised in a processor that is
+// unblocked because the machine is wedged (the cooperative scheduler
+// proved it, or the goroutine-mode monitor tripped). Run recognizes it
+// so induced deadlock diagnostics never mask a root-cause panic.
+type deadlockError struct {
+	rank, src, tag int
+}
+
+func (e deadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: processor %d waiting for a message from %d with tag %d that can never arrive", e.rank, e.src, e.tag)
+}
+
 // take removes and returns the first message matching (src, tag),
 // blocking until one arrives. Messages from a given source with a given
 // tag are delivered in send order. If the machine's deadlock monitor
@@ -124,19 +200,18 @@ func (b *mailbox) take(w *watch, rank, src, tag int) message {
 	for {
 		for i, m := range b.queue {
 			if m.src == src && m.tag == tag {
-				b.queue = append(b.queue[:i], b.queue[i+1:]...)
-				return m
+				return b.removeAt(i)
 			}
 		}
 		w.register(rank, src, tag)
 		if w.dead.Load() {
 			w.unregister(rank)
-			panic(fmt.Sprintf("sim: deadlock: processor %d waiting for a message from %d with tag %d that can never arrive", rank, src, tag))
+			panic(deadlockError{rank: rank, src: src, tag: tag})
 		}
 		b.cond.Wait()
 		w.unregister(rank)
 		if w.dead.Load() {
-			panic(fmt.Sprintf("sim: deadlock: processor %d waiting for a message from %d with tag %d that can never arrive", rank, src, tag))
+			panic(deadlockError{rank: rank, src: src, tag: tag})
 		}
 	}
 }
@@ -345,19 +420,46 @@ func (m *Machine) Run(body func(p *Proc)) error {
 		return fmt.Errorf("sim: Machine.Run called concurrently on the same machine")
 	}
 	defer m.running.Store(false)
-	w := newWatch(m.cfg.Procs, m.boxes)
-	go w.monitor()
-	defer close(w.stop)
+	if m.cfg.Sched == SchedCooperative {
+		return m.runCoop(body)
+	}
+	return m.runGoroutine(body)
+}
+
+// newProcs builds the per-run processor values, clocks at zero.
+func (m *Machine) newProcs() []*Proc {
 	procs := make([]*Proc, m.cfg.Procs)
 	for i := range procs {
 		procs[i] = &Proc{
 			rank:  i,
 			m:     m,
-			w:     w,
 			box:   m.boxes[i],
 			phase: "default",
 			stats: Stats{Rank: i, Phases: make(map[string]PhaseStats)},
 		}
+	}
+	return procs
+}
+
+// recoverRankErr converts a recovered panic value into a per-rank
+// error, preserving deadlockError identity so finishRun can tell
+// induced deadlock unwinding apart from root-cause failures.
+func recoverRankErr(rank int, r any) error {
+	if de, ok := r.(deadlockError); ok {
+		return de
+	}
+	return fmt.Errorf("sim: processor %d panicked: %v", rank, r)
+}
+
+// runGoroutine is the concurrent mode: one goroutine per processor,
+// locked mailboxes, and the polling deadlock monitor.
+func (m *Machine) runGoroutine(body func(p *Proc)) error {
+	w := newWatch(m.cfg.Procs, m.boxes)
+	go w.monitor()
+	defer close(w.stop)
+	procs := m.newProcs()
+	for _, p := range procs {
+		p.w = w
 	}
 	errs := make([]error, m.cfg.Procs)
 	var wg sync.WaitGroup
@@ -368,14 +470,25 @@ func (m *Machine) Run(body func(p *Proc)) error {
 			defer w.finish()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[p.rank] = fmt.Errorf("sim: processor %d panicked: %v", p.rank, r)
+					errs[p.rank] = recoverRankErr(p.rank, r)
 				}
 			}()
 			body(p)
 		}(procs[i])
 	}
 	wg.Wait()
+	return m.finishRun(procs, errs, nil)
+}
 
+// finishRun publishes the run's statistics and folds the per-rank
+// errors into the run result. Non-deadlock errors are preferred: when a
+// processor panics, its peers are typically woken with induced
+// "deadlock" panics, and reporting one of those would mask the root
+// cause. Remaining errors of the winning class are aggregated with
+// errors.Join; diag, when non-nil, is the cooperative scheduler's
+// machine-level wait-for diagnostic and stands in for the per-rank
+// deadlock unwind errors.
+func (m *Machine) finishRun(procs []*Proc, errs []error, diag error) error {
 	m.mu.Lock()
 	m.stats = make([]Stats, m.cfg.Procs)
 	m.spans = make([][]Span, m.cfg.Procs)
@@ -386,10 +499,25 @@ func (m *Machine) Run(body func(p *Proc)) error {
 	}
 	m.mu.Unlock()
 
+	var primary, deadlocks []error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		var de deadlockError
+		if errors.As(err, &de) {
+			deadlocks = append(deadlocks, err)
+		} else {
+			primary = append(primary, err)
+		}
+	}
+	switch {
+	case len(primary) > 0:
+		return errors.Join(primary...)
+	case diag != nil:
+		return diag
+	case len(deadlocks) > 0:
+		return errors.Join(deadlocks...)
 	}
 	for i, b := range m.boxes {
 		if n := b.pending(); n != 0 {
@@ -474,7 +602,8 @@ func (m *Machine) PhaseNames() []string {
 type Proc struct {
 	rank  int
 	m     *Machine
-	w     *watch
+	w     *watch     // goroutine mode only
+	cs    *coopSched // cooperative mode only
 	box   *mailbox
 	clock float64
 	phase string
@@ -570,7 +699,21 @@ func (p *Proc) Send(dst, tag int, payload any, words int) {
 	p.addComm(cost)
 	p.stats.MsgsSent++
 	p.stats.WordsSent += int64(words)
-	p.m.boxes[dst].put(message{src: p.rank, tag: tag, payload: payload, words: words, arrival: p.clock})
+	p.deliver(dst, message{src: p.rank, tag: tag, payload: payload, words: words, arrival: p.clock})
+}
+
+// deliver appends a message to dst's mailbox. In cooperative mode
+// exactly one processor runs at a time (handoffs through the scheduler
+// establish the ordering), so the queue is appended to directly; in
+// goroutine mode the locked put wakes any blocked receiver.
+func (p *Proc) deliver(dst int, m message) {
+	if p.cs != nil {
+		b := p.m.boxes[dst]
+		b.queue = append(b.queue, m)
+		p.cs.noteDeliver(dst, m.src, m.tag)
+		return
+	}
+	p.m.boxes[dst].put(m)
 }
 
 // SendFree transmits a zero-cost control message: it charges nothing,
@@ -581,7 +724,7 @@ func (p *Proc) SendFree(dst, tag int, payload any) {
 	if dst < 0 || dst >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("sim: SendFree to invalid rank %d (P=%d)", dst, p.m.cfg.Procs))
 	}
-	p.m.boxes[dst].put(message{src: p.rank, tag: tag, payload: payload, arrival: p.clock})
+	p.deliver(dst, message{src: p.rank, tag: tag, payload: payload, arrival: p.clock})
 }
 
 // Recv blocks until a message with the given source and tag arrives and
@@ -592,7 +735,12 @@ func (p *Proc) Recv(src, tag int) (payload any, words int) {
 	if src < 0 || src >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("sim: Recv from invalid rank %d (P=%d)", src, p.m.cfg.Procs))
 	}
-	msg := p.box.take(p.w, p.rank, src, tag)
+	var msg message
+	if p.cs != nil {
+		msg = p.box.takeCoop(p.cs, p.rank, src, tag)
+	} else {
+		msg = p.box.take(p.w, p.rank, src, tag)
+	}
 	if msg.arrival > p.clock {
 		p.addComm(msg.arrival - p.clock)
 	}
