@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench smoke ci
+.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf ci
 
 all: build
 
@@ -34,4 +34,20 @@ smoke:
 	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 4 -sched coop
 	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 4 -sched goroutine
 
-ci: vet staticcheck build race smoke
+# smoke-trace proves the observability layer end to end: the Gantt,
+# matrix, and critical-path renderers, and a Chrome trace that parses
+# as JSON (Go's encoder wrote it, so a cheap well-formedness check via
+# the json tooling suffices).
+smoke-trace:
+	$(GO) run ./cmd/packtrace -shape 4096 -dist "CYCLIC(4) ONTO 8" -matrix -critpath
+	$(GO) run ./cmd/packtrace -shape 4096 -dist "CYCLIC(4) ONTO 8" -format chrome -o /tmp/packtrace-smoke.json
+	$(GO) run ./internal/tools/jsoncheck /tmp/packtrace-smoke.json traceEvents
+
+# validate-perf checks the packbench -json report: it must parse and
+# carry the current schema marker (packbench exits non-zero on either
+# failure, and jsoncheck re-verifies from a separate process).
+validate-perf:
+	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 2 -json /tmp/packbench-perf.json >/dev/null
+	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-perf.json schema=packbench-perf/v3
+
+ci: vet staticcheck build race smoke smoke-trace validate-perf

@@ -41,6 +41,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "host worker pool size for the sweep engine (1 = serial)")
 	schedFlag := flag.String("sched", "coop", "emulator scheduling mode: coop (cooperative, virtual-clock ordered) or goroutine (concurrent)")
 	jsonPath := flag.String("json", "", "write a host-performance report (schema "+bench.PerfSchema+") to this file")
+	traceDir := flag.String("trace-dir", "", "run every experiment point with event tracing on and dump one Chrome trace-event JSON per point into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
@@ -53,6 +54,13 @@ func main() {
 	suite := bench.NewSuite(*quick, *seed)
 	suite.Workers = *parallel
 	suite.Sched = sched
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		suite.TraceDir = *traceDir
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -142,7 +150,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", *jsonPath)
+		// Read the file back and validate it: trajectory tooling diffs
+		// these reports blind, so a malformed or mis-versioned file
+		// should fail here, not there.
+		written, err := os.ReadFile(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		var check bench.PerfReport
+		if err := json.Unmarshal(written, &check); err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: written report does not parse: %v\n", err)
+			os.Exit(1)
+		}
+		if check.Schema != bench.PerfSchema {
+			fmt.Fprintf(os.Stderr, "packbench: written report carries schema %q, want %q\n", check.Schema, bench.PerfSchema)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (schema %s)\n", *jsonPath, check.Schema)
 	}
 	fmt.Printf("generated %d tables in %.1fs wall time (parallel=%d)\n", len(tables), time.Since(start).Seconds(), *parallel)
 }

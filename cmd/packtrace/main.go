@@ -1,7 +1,9 @@
 // Command packtrace runs one PACK (or UNPACK) configuration on the
-// emulated machine with timeline recording enabled and prints an ASCII
-// Gantt chart of every processor's virtual time, plus the per-phase
-// breakdown — a visual companion to the packbench tables.
+// emulated machine with the observability layer enabled and renders
+// what happened: an ASCII Gantt chart of every processor's virtual
+// time (the default), a Chrome trace-event JSON file for
+// ui.perfetto.dev, the P×P communication matrix, and the virtual-time
+// critical path — a visual companion to the packbench tables.
 //
 // The array shape and distribution are given in HPF directive
 // notation:
@@ -9,6 +11,9 @@
 //	packtrace -shape 16384 -dist "CYCLIC(16) ONTO 16" -scheme cms
 //	packtrace -shape 64x64 -dist "CYCLIC(2), CYCLIC(2) ONTO 4x4" -density 0.3
 //	packtrace -op unpack -scheme css -dist "CYCLIC ONTO 16"
+//	packtrace -format chrome -o trace.json     # open in ui.perfetto.dev
+//	packtrace -matrix                          # P×P messages/words, per phase
+//	packtrace -critpath                        # blocking chain from the makespan
 package main
 
 import (
@@ -47,6 +52,11 @@ func main() {
 	op := flag.String("op", "pack", "operation: pack|unpack")
 	width := flag.Int("width", 72, "gantt chart width in columns")
 	seed := flag.Uint64("seed", 1, "mask seed")
+	format := flag.String("format", "gantt", "timeline format: gantt (ASCII) or chrome (trace-event JSON for ui.perfetto.dev)")
+	outPath := flag.String("o", "", "write the chrome trace to this file (default stdout)")
+	matrix := flag.Bool("matrix", false, "print the P x P communication matrix (messages/words, per phase)")
+	critpath := flag.Bool("critpath", false, "print the virtual-time critical path (blocking chain ending at the makespan)")
+	schedFlag := flag.String("sched", "coop", "emulator scheduling mode: coop (cooperative, deterministic event order) or goroutine (concurrent)")
 	flag.Parse()
 
 	var scheme pack.Scheme
@@ -63,6 +73,13 @@ func main() {
 	if *op == "unpack" && scheme == pack.SchemeCMS {
 		log.Fatalf("UNPACK supports sss and css only")
 	}
+	if *format != "gantt" && *format != "chrome" {
+		log.Fatalf("unknown format %q (want gantt or chrome)", *format)
+	}
+	sched, err := sim.ParseSched(*schedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	shape, err := parseShape(*shapeFlag)
 	if err != nil {
@@ -74,7 +91,13 @@ func main() {
 	}
 	gen := mask.NewRandom(*density, *seed, shape...)
 
-	machine, err := sim.New(sim.Config{Procs: layout.Procs(), Params: sim.CM5Params(), Record: true})
+	machine, err := sim.New(sim.Config{
+		Procs:  layout.Procs(),
+		Sched:  sched,
+		Params: sim.CM5Params(),
+		Record: true,
+		Trace:  true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,11 +126,47 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	capture := trace.CaptureMachine(machine)
 
-	fmt.Printf("%s %s, shape %s, %s (P=%d), density %.0f%%, Size=%d\n\n",
-		*op, scheme, *shapeFlag, hpf.Format(layout.Dims), layout.Procs(), *density*100, size)
+	if *format == "chrome" {
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}()
+			out = f
+		}
+		if err := trace.WriteChrome(out, capture); err != nil {
+			log.Fatal(err)
+		}
+		if *outPath != "" {
+			fmt.Fprintf(os.Stderr, "wrote %s (open in ui.perfetto.dev)\n", *outPath)
+		}
+		return
+	}
+
+	fmt.Printf("%s %s, shape %s, %s (P=%d), density %.0f%%, Size=%d, sched %s\n\n",
+		*op, scheme, *shapeFlag, hpf.Format(layout.Dims), layout.Procs(), *density*100, size, sched)
 	trace.Gantt(os.Stdout, machine.Spans(), *width)
 	fmt.Println()
 	trace.Summary(os.Stdout, machine.Stats())
+	if *matrix {
+		fmt.Println()
+		trace.WriteMatrix(os.Stdout, trace.BuildMatrix(capture))
+	}
+	if *critpath {
+		fmt.Println()
+		rep, err := trace.CriticalPath(capture)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace.WriteCritPath(os.Stdout, rep)
+	}
 	fmt.Printf("\ntotal simulated time: %.3f ms\n", machine.MaxClock()/1000)
 }

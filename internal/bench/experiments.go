@@ -9,6 +9,7 @@ import (
 	"packunpack/internal/mask"
 	"packunpack/internal/pack"
 	"packunpack/internal/sim"
+	"packunpack/internal/trace"
 )
 
 // Suite bundles the paper's experiments. Quick mode shrinks the
@@ -32,6 +33,11 @@ type Suite struct {
 	// so within-machine goroutine concurrency only oversubscribes the
 	// host (DESIGN.md §8). Either mode produces identical tables.
 	Sched sim.Sched
+	// TraceDir, when non-empty, runs every measured machine with the
+	// observability layer on and dumps one Chrome trace-event file per
+	// executed experiment point into the directory (packbench
+	// -trace-dir). Tables and virtual times are unaffected.
+	TraceDir string
 	// cache memoizes measurements across experiments: Figure 3 and
 	// Figure 4 report different columns of the same runs, and the
 	// Table I crossover search revisits the SSS baseline repeatedly.
@@ -489,9 +495,14 @@ func (s Suite) prsKey(pt prsPoint) string {
 }
 
 // prsExecute runs one bare PRS collective and books it like any other
-// machine execution.
+// machine execution — including the TraceDir dump, so a traced sweep
+// covers the PRS grid too.
 func (s Suite) prsExecute(pt prsPoint) Metrics {
-	machine := sim.MustNew(sim.Config{Procs: pt.p, Params: sim.CM5Params(), Sched: s.Sched})
+	traced := s.TraceDir != ""
+	machine := sim.MustNew(sim.Config{
+		Procs: pt.p, Params: sim.CM5Params(), Sched: s.Sched,
+		Record: traced, Trace: traced,
+	})
 	err := machine.Run(func(proc *sim.Proc) {
 		vec := make([]int, pt.m)
 		for i := range vec {
@@ -502,8 +513,11 @@ func (s Suite) prsExecute(pt prsPoint) Metrics {
 	if err != nil {
 		panic(err)
 	}
-	m := Metrics{TotalMS: machine.MaxClock() / 1000}
-	s.counters.record(m.TotalMS)
+	m := metricsFrom(machine)
+	s.counters.record(m)
+	if traced {
+		s.dumpTrace(s.prsKey(pt), trace.CaptureMachine(machine))
+	}
 	return m
 }
 

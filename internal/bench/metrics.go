@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"packunpack/internal/sim"
+	"packunpack/internal/trace"
+)
+
+// This file is the derived-metrics registry: named quantities computed
+// from a finished machine run beyond the paper's raw per-phase times.
+// Each registered metric maps a run snapshot to one scalar; the sweep
+// engine evaluates the registry for every machine execution and the
+// -json perf report emits per-experiment means (schema
+// packbench-perf/v3, the "derived" object). The names are the schema:
+// changing or removing one is a schema change and must bump PerfSchema.
+
+// Snapshot is what a metric may look at: the per-processor statistics
+// of the run and, when the run was traced, its critical-path report.
+type Snapshot struct {
+	Stats []sim.Stats
+	// Crit is non-nil only for traced runs (packbench -trace-dir);
+	// metrics that need it return ok=false otherwise.
+	Crit *trace.CritReport
+}
+
+// maxClock returns the makespan of the snapshot, µs.
+func (s Snapshot) maxClock() float64 {
+	var max float64
+	for _, st := range s.Stats {
+		if st.Clock > max {
+			max = st.Clock
+		}
+	}
+	return max
+}
+
+// meanClock returns the mean final clock, µs.
+func (s Snapshot) meanClock() float64 {
+	if len(s.Stats) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, st := range s.Stats {
+		sum += st.Clock
+	}
+	return sum / float64(len(s.Stats))
+}
+
+// Metric is one registered derived quantity.
+type Metric struct {
+	// Name keys the metric in the perf report's "derived" object.
+	Name string
+	// Help is the one-line definition surfaced in docs and tooling.
+	Help string
+	// Compute returns the metric's value for one run; ok=false means
+	// the snapshot lacks what the metric needs (e.g. no trace) and the
+	// run contributes nothing to the aggregate.
+	Compute func(Snapshot) (v float64, ok bool)
+}
+
+// MetricRegistry returns the registered derived metrics, in emission
+// order. The registry is a function (not a package variable) so
+// callers cannot mutate the canonical set.
+func MetricRegistry() []Metric {
+	return []Metric{
+		{
+			Name: "idle_frac",
+			Help: "fraction of the machine's processor-time budget idle at the end (1 - meanClock/maxClock); high values mean early finishers wait on stragglers",
+			Compute: func(s Snapshot) (float64, bool) {
+				max := s.maxClock()
+				if max == 0 {
+					return 0, false
+				}
+				return 1 - s.meanClock()/max, true
+			},
+		},
+		{
+			Name: "imbalance",
+			Help: "load imbalance maxClock/meanClock; 1.0 is perfectly balanced",
+			Compute: func(s Snapshot) (float64, bool) {
+				mean := s.meanClock()
+				if mean == 0 {
+					return 0, false
+				}
+				return s.maxClock() / mean, true
+			},
+		},
+		{
+			Name: "comm_frac",
+			Help: "communication share of all processor busy time (sum Comm / sum (Comp+Comm))",
+			Compute: func(s Snapshot) (float64, bool) {
+				var comm, busy float64
+				for _, st := range s.Stats {
+					comm += st.Comm
+					busy += st.Comp + st.Comm
+				}
+				if busy == 0 {
+					return 0, false
+				}
+				return comm / busy, true
+			},
+		},
+		{
+			Name: "critpath_words",
+			Help: "message words on the critical path (traced runs only)",
+			Compute: func(s Snapshot) (float64, bool) {
+				if s.Crit == nil {
+					return 0, false
+				}
+				return float64(s.Crit.Words), true
+			},
+		},
+		{
+			Name: "critpath_msgs",
+			Help: "messages on the critical path (traced runs only)",
+			Compute: func(s Snapshot) (float64, bool) {
+				if s.Crit == nil {
+					return 0, false
+				}
+				return float64(s.Crit.Msgs), true
+			},
+		},
+		{
+			Name: "critpath_hops",
+			Help: "processor segments on the critical path (traced runs only)",
+			Compute: func(s Snapshot) (float64, bool) {
+				if s.Crit == nil {
+					return 0, false
+				}
+				return float64(len(s.Crit.Segments)), true
+			},
+		},
+	}
+}
+
+// ComputeDerived evaluates the registry plus the per-phase
+// communication shares ("comm_share/<phase>": the phase's summed Comm
+// over the summed final clocks — how much of the machine's time the
+// phase spends communicating).
+func ComputeDerived(s Snapshot) map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range MetricRegistry() {
+		if v, ok := m.Compute(s); ok {
+			out[m.Name] = v
+		}
+	}
+	var clocks float64
+	phaseComm := map[string]float64{}
+	for _, st := range s.Stats {
+		clocks += st.Clock
+		for name, ph := range st.Phases {
+			phaseComm[name] += ph.Comm
+		}
+	}
+	if clocks > 0 {
+		for name, comm := range phaseComm {
+			out["comm_share/"+name] = comm / clocks
+		}
+	}
+	return out
+}
+
+// DerivedNames lists every metric name the registry can emit for the
+// given snapshot's phase set, sorted — used by docs and tests.
+func DerivedNames(s Snapshot) []string {
+	names := make([]string, 0, len(MetricRegistry()))
+	for _, m := range MetricRegistry() {
+		names = append(names, m.Name)
+	}
+	seen := map[string]bool{}
+	for _, st := range s.Stats {
+		for name := range st.Phases {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, "comm_share/"+name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FormatMetricHelp renders the registry as "name — help" lines for the
+// CLI's documentation output.
+func FormatMetricHelp() string {
+	var out string
+	for _, m := range MetricRegistry() {
+		out += fmt.Sprintf("  %-16s %s\n", m.Name, m.Help)
+	}
+	out += fmt.Sprintf("  %-16s %s\n", "comm_share/<ph>", "per-phase communication share of summed processor clocks")
+	return out
+}

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/pack"
+)
+
+// metricsRun is a small deterministic point used across the derived
+// metric tests: big enough to exercise every phase of the CMS scheme,
+// small enough to run in milliseconds.
+func metricsRun() Run {
+	return Run{
+		Layout: dist.MustLayout(dist.Dim{N: 1024, P: 4, W: 4}),
+		Gen:    mask.NewRandom(0.5, 1, 1024),
+		Opt:    pack.Options{Scheme: pack.SchemeCMS},
+		Mode:   ModePack,
+	}
+}
+
+// TestDerivedMetricsSanity checks the registry's invariants on an
+// ordinary (untraced) run: every machine execution carries the basic
+// derived metrics, each inside its mathematical range, and the
+// critical-path metrics stay absent without a trace.
+func TestDerivedMetricsSanity(t *testing.T) {
+	met, err := metricsRun().Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := met.Derived
+	if d == nil {
+		t.Fatal("untraced Execute produced no derived metrics")
+	}
+	if v := d["idle_frac"]; v < 0 || v >= 1 {
+		t.Errorf("idle_frac = %v, want [0,1)", v)
+	}
+	if v := d["imbalance"]; v < 1 {
+		t.Errorf("imbalance = %v, want >= 1", v)
+	}
+	if v := d["comm_frac"]; v <= 0 || v > 1 {
+		t.Errorf("comm_frac = %v, want (0,1]", v)
+	}
+	for _, name := range []string{"critpath_words", "critpath_msgs", "critpath_hops"} {
+		if _, ok := d[name]; ok {
+			t.Errorf("untraced run carries %s; critical-path metrics need a trace", name)
+		}
+	}
+	var shares int
+	for name := range d {
+		if strings.HasPrefix(name, "comm_share/") {
+			shares++
+		}
+	}
+	if shares == 0 {
+		t.Error("no comm_share/<phase> metrics; a CMS pack has at least the m2m phase")
+	}
+}
+
+// TestExecuteTraceMetrics checks the traced path: the capture comes
+// back with events, the critical-path metrics join Derived, and — the
+// observability contract — tracing changes no virtual measurement: the
+// raw metrics and every shared derived name match the untraced run
+// exactly.
+func TestExecuteTraceMetrics(t *testing.T) {
+	r := metricsRun()
+	plain, err := r.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, capture, err := r.ExecuteTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capture == nil || !capture.HasEvents() {
+		t.Fatal("ExecuteTrace returned no event capture")
+	}
+
+	if met.TotalMS != plain.TotalMS || met.LocalMS != plain.LocalMS ||
+		met.PRSMS != plain.PRSMS || met.M2MMS != plain.M2MMS ||
+		met.Words != plain.Words || met.Msgs != plain.Msgs {
+		t.Errorf("tracing changed virtual metrics:\n traced %+v\n plain  %+v", met, plain)
+	}
+	for name, want := range plain.Derived {
+		if got, ok := met.Derived[name]; !ok || got != want {
+			t.Errorf("derived %q: traced %v, untraced %v", name, met.Derived[name], want)
+		}
+	}
+	if v, ok := met.Derived["critpath_hops"]; !ok || v < 1 {
+		t.Errorf("critpath_hops = %v (present=%v), want >= 1 on a traced run", v, ok)
+	}
+	if v := met.Derived["critpath_msgs"]; v < 1 {
+		t.Errorf("critpath_msgs = %v, want >= 1: four CMS ranks cannot finish without a blocking message", v)
+	}
+}
+
+// TestTraceDirDumpsParse runs one quick experiment with a TraceDir and
+// checks the engine dumped one parseable Chrome trace per machine run,
+// and that enabling tracing did not perturb the rendered tables.
+func TestTraceDirDumpsParse(t *testing.T) {
+	dir := t.TempDir()
+
+	plain := NewSuite(true, 1)
+	plain.Workers = 1
+	want := renderSuite(plain)
+
+	s := NewSuite(true, 1)
+	s.Workers = 1
+	s.TraceDir = dir
+	if got := renderSuite(s); got != want {
+		t.Fatal("tracing the sweep changed the rendered tables")
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := s.PerfSnapshot().MachineRuns
+	if int64(len(entries)) != runs {
+		t.Fatalf("dumped %d trace files for %d machine runs", len(entries), runs)
+	}
+	for i, e := range entries {
+		if i >= 5 { // parsing a sample is enough; all come from one writer
+			break
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s does not parse: %v", e.Name(), err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Fatalf("%s has no trace events", e.Name())
+		}
+	}
+}
+
+// TestPerfReportV3 checks the schema marker and that instrumented runs
+// carry per-experiment derived means: machine executions happen in the
+// prefetch phase, so its perf line gets a derived object while the
+// pure-replay line (zero machine runs) gets none.
+func TestPerfReportV3(t *testing.T) {
+	if PerfSchema != "packbench-perf/v3" {
+		t.Fatalf("PerfSchema = %q; the derived object is a v3 feature", PerfSchema)
+	}
+
+	s := NewSuite(true, 1)
+	s.Workers = 1
+	_, perfs, err := s.RunInstrumented("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perfs) != 2 {
+		t.Fatalf("RunInstrumented produced %d perf lines, want 2", len(perfs))
+	}
+	pre, replay := perfs[0], perfs[1]
+	if pre.MachineRuns == 0 {
+		t.Fatal("prefetch phase ran no machines")
+	}
+	for _, name := range []string{"idle_frac", "imbalance", "comm_frac"} {
+		if _, ok := pre.Derived[name]; !ok {
+			t.Errorf("prefetch perf line lacks derived %q", name)
+		}
+	}
+	if replay.MachineRuns != 0 {
+		t.Fatalf("replay phase ran %d machines, want 0 (warm cache)", replay.MachineRuns)
+	}
+	if replay.Derived != nil {
+		t.Error("replay perf line carries a derived object despite zero machine runs")
+	}
+
+	total := SumPerf(perfs)
+	if total.MachineRuns != pre.MachineRuns {
+		t.Errorf("total machine runs %d, want %d", total.MachineRuns, pre.MachineRuns)
+	}
+	// With one contributing phase the run-weighted mean is that phase's.
+	for name, want := range pre.Derived {
+		if got := total.Derived[name]; got != want {
+			t.Errorf("total derived %q = %v, want %v", name, got, want)
+		}
+	}
+
+	// The report must round-trip through JSON with the derived object
+	// intact (the -json consumers parse it blind).
+	data, err := json.Marshal(PerfReport{Schema: PerfSchema, Experiments: perfs, Total: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PerfReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != PerfSchema {
+		t.Fatalf("schema round-trip: %q", back.Schema)
+	}
+	if got := back.Experiments[0].Derived["imbalance"]; got != pre.Derived["imbalance"] {
+		t.Errorf("derived imbalance round-trip: %v want %v", got, pre.Derived["imbalance"])
+	}
+}
+
+// TestTraceFileNames pins the dump naming scheme: sanitized stem, hash
+// suffix, and distinct names for keys that sanitize identically.
+func TestTraceFileNames(t *testing.T) {
+	a := traceFileName("layout|gen|CMS")
+	b := traceFileName("layout|gen;CMS")
+	if a == b {
+		t.Fatalf("keys differing only in punctuation collide: %s", a)
+	}
+	if !strings.HasSuffix(a, ".trace.json") {
+		t.Fatalf("unexpected trace file name %q", a)
+	}
+	long := traceFileName(strings.Repeat("x", 500))
+	if len(long) > 150 {
+		t.Fatalf("trace file name not truncated: %d chars", len(long))
+	}
+}

@@ -68,10 +68,10 @@ func (c *runCache) len() int {
 // produce identical metrics (the cross-mode equivalence contract), but
 // a cache must never be able to blur a configuration distinction.
 func runKey(r Run) string {
-	return fmt.Sprintf("%s|%s|%v|%v|%v|%d|%v|%v|%v|%v|%v|%v",
+	return fmt.Sprintf("%s|%s|%v|%v|%v|%d|%v|%v|%v|%v|%v|%v|%v",
 		r.Layout.String(), r.Gen.Name(), r.Opt.Scheme, r.Mode, r.Opt.PRS,
 		r.Opt.VectorW, r.Opt.WholeSliceScan, r.Opt.A2A, r.Opt.SeparatePrefixReduce,
-		r.SelfSendFree, r.Params, r.Sched)
+		r.SelfSendFree, r.Params, r.Sched, r.Trace)
 }
 
 // runCollector accumulates the distinct experiment points a generator
@@ -97,33 +97,65 @@ type perfCounters struct {
 	mu        sync.Mutex
 	runs      int64
 	virtualMS float64
+	// derived sums each registry metric (metrics.go) over the recorded
+	// runs; the report divides by the run count for per-experiment
+	// means.
+	derived map[string]float64
 }
 
-func (c *perfCounters) record(virtualMS float64) {
+func (c *perfCounters) record(m Metrics) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	c.runs++
-	c.virtualMS += virtualMS
+	c.virtualMS += m.TotalMS
+	if len(m.Derived) > 0 {
+		if c.derived == nil {
+			c.derived = make(map[string]float64, len(m.Derived))
+		}
+		for name, v := range m.Derived {
+			c.derived[name] += v
+		}
+	}
 	c.mu.Unlock()
 }
 
-// PerfSnapshot reports the cumulative number of machine executions,
-// the virtual time they produced (summed TotalMS), and the number of
-// cache hits so far. Deltas between snapshots give per-experiment
+// PerfTotals is a point-in-time snapshot of the suite's cumulative
+// instrumentation; deltas between snapshots give per-experiment
 // figures.
-func (s Suite) PerfSnapshot() (machineRuns int64, virtualMS float64, cacheHits int64) {
+type PerfTotals struct {
+	// MachineRuns counts machine executions, VirtualMS the virtual time
+	// they produced (summed TotalMS — the cross-machine checksum).
+	MachineRuns int64
+	VirtualMS   float64
+	CacheHits   int64
+	// DerivedSum sums each derived metric over the runs (a copy; safe
+	// to keep across later work).
+	DerivedSum map[string]float64
+}
+
+// PerfSnapshot captures the suite's cumulative instrumentation: machine
+// executions, the virtual time they produced, cache hits, and the
+// summed derived metrics.
+func (s Suite) PerfSnapshot() PerfTotals {
+	var t PerfTotals
 	if s.counters != nil {
 		s.counters.mu.Lock()
-		machineRuns = s.counters.runs
-		virtualMS = s.counters.virtualMS
+		t.MachineRuns = s.counters.runs
+		t.VirtualMS = s.counters.virtualMS
+		if len(s.counters.derived) > 0 {
+			t.DerivedSum = make(map[string]float64, len(s.counters.derived))
+			for name, v := range s.counters.derived {
+				t.DerivedSum[name] = v
+			}
+		}
 		s.counters.mu.Unlock()
 	}
 	if s.cache != nil {
-		cacheHits = s.cache.hits.Load()
+		t.CacheHits = s.cache.hits.Load()
 	}
-	return machineRuns, virtualMS, cacheHits
+	return t
 }
 
 // workerCount resolves the Workers field: 0 means one worker per CPU.
@@ -202,13 +234,24 @@ func (s Suite) prefetch(col *runCollector) {
 
 // execute runs one point and books it in the perf counters. The
 // experiment grid is fixed, so an error is a programming error, not an
-// input error — hence the panic.
+// input error — hence the panic. With a TraceDir configured, the point
+// runs with the observability layer on and its Chrome trace is dumped
+// there (tracedump.go); virtual results are identical either way.
 func (s Suite) execute(r Run) Metrics {
+	if s.TraceDir != "" {
+		m, capture, err := r.ExecuteTrace()
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		s.counters.record(m)
+		s.dumpTrace(runKey(r), capture)
+		return m
+	}
 	m, err := r.Execute()
 	if err != nil {
 		panic(fmt.Sprintf("bench: %v", err))
 	}
-	s.counters.record(m.TotalMS)
+	s.counters.record(m)
 	return m
 }
 

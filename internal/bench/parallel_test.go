@@ -33,7 +33,7 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	if got != want {
 		t.Fatalf("parallel sweep output differs from serial run:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
 	}
-	if runs, _, _ := parallel.PerfSnapshot(); runs == 0 {
+	if parallel.PerfSnapshot().MachineRuns == 0 {
 		t.Fatal("parallel suite recorded no machine runs")
 	}
 }
@@ -45,8 +45,7 @@ func TestParallelPrefetchWarmsCache(t *testing.T) {
 	s := NewSuite(true, 1)
 	s.Workers = 4
 	s.Fig3()
-	_, _, hits := s.PerfSnapshot()
-	if hits == 0 {
+	if s.PerfSnapshot().CacheHits == 0 {
 		t.Fatal("parallel sweep replay produced no cache hits; the prefetch pass did not run")
 	}
 }

@@ -15,7 +15,13 @@ import (
 // -parallel), while each experiment's grid execution is reported as
 // its own "<id>/prefetch" line; a top-level "sched" field records the
 // emulator scheduling mode.
-const PerfSchema = "packbench-perf/v2"
+//
+// v3: rows with machine runs carry a "derived" object of per-run mean
+// registry metrics (metrics.go): idle_frac, imbalance, comm_frac,
+// comm_share/<phase>, and — when the sweep was traced via -trace-dir —
+// critpath_words/critpath_msgs/critpath_hops. The pre-existing fields
+// are unchanged, so v2 consumers that ignore unknown keys still parse.
+const PerfSchema = "packbench-perf/v3"
 
 // PerfReport is the host-performance baseline packbench -json writes:
 // one entry per requested experiment plus a summed total. Virtual
@@ -62,11 +68,16 @@ type ExperimentPerf struct {
 	// VirtualMS sums the virtual total time over all machine runs — a
 	// host-independent checksum: it must not change with -parallel.
 	VirtualMS float64 `json:"virtual_ms"`
+	// Derived holds per-run means of the registry metrics (metrics.go)
+	// over this phase's machine runs. Omitted when the phase ran no
+	// machines (replay lines answer everything from the cache). Schema
+	// v3 addition.
+	Derived map[string]float64 `json:"derived,omitempty"`
 }
 
 // instrument measures the host-side cost of running fn.
 func (s Suite) instrument(id string, fn func() []*Table) ([]*Table, ExperimentPerf) {
-	runsBefore, virtBefore, hitsBefore := s.PerfSnapshot()
+	before := s.PerfSnapshot()
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
@@ -76,7 +87,7 @@ func (s Suite) instrument(id string, fn func() []*Table) ([]*Table, ExperimentPe
 	wall := time.Since(start)
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
-	runsAfter, virtAfter, hitsAfter := s.PerfSnapshot()
+	after := s.PerfSnapshot()
 
 	perf := ExperimentPerf{
 		ID:          id,
@@ -84,9 +95,16 @@ func (s Suite) instrument(id string, fn func() []*Table) ([]*Table, ExperimentPe
 		WallMS:      float64(wall.Microseconds()) / 1000,
 		Allocs:      msAfter.Mallocs - msBefore.Mallocs,
 		AllocBytes:  msAfter.TotalAlloc - msBefore.TotalAlloc,
-		MachineRuns: runsAfter - runsBefore,
-		CacheHits:   hitsAfter - hitsBefore,
-		VirtualMS:   virtAfter - virtBefore,
+		MachineRuns: after.MachineRuns - before.MachineRuns,
+		CacheHits:   after.CacheHits - before.CacheHits,
+		VirtualMS:   after.VirtualMS - before.VirtualMS,
+	}
+	if perf.MachineRuns > 0 {
+		perf.Derived = make(map[string]float64)
+		for name, sum := range after.DerivedSum {
+			delta := sum - before.DerivedSum[name]
+			perf.Derived[name] = delta / float64(perf.MachineRuns)
+		}
 	}
 	for _, t := range tables {
 		perf.Rows += len(t.Rows)
@@ -119,8 +137,11 @@ func (s Suite) RunInstrumented(id string) ([]*Table, []ExperimentPerf, error) {
 }
 
 // SumPerf folds per-phase figures into the report's total line.
+// Derived metrics are per-run means, so the total carries their
+// run-weighted mean rather than a plain sum.
 func SumPerf(perfs []ExperimentPerf) ExperimentPerf {
 	total := ExperimentPerf{ID: "all"}
+	derivedSum := make(map[string]float64)
 	for _, p := range perfs {
 		total.Tables += p.Tables
 		total.Rows += p.Rows
@@ -130,6 +151,15 @@ func SumPerf(perfs []ExperimentPerf) ExperimentPerf {
 		total.MachineRuns += p.MachineRuns
 		total.CacheHits += p.CacheHits
 		total.VirtualMS += p.VirtualMS
+		for name, mean := range p.Derived {
+			derivedSum[name] += mean * float64(p.MachineRuns)
+		}
+	}
+	if len(derivedSum) > 0 && total.MachineRuns > 0 {
+		total.Derived = make(map[string]float64, len(derivedSum))
+		for name, sum := range derivedSum {
+			total.Derived[name] = sum / float64(total.MachineRuns)
+		}
 	}
 	return total
 }

@@ -18,6 +18,7 @@ import (
 	"packunpack/internal/ranking"
 	"packunpack/internal/redist"
 	"packunpack/internal/sim"
+	"packunpack/internal/trace"
 )
 
 // Mode selects the operation a Run measures.
@@ -82,13 +83,19 @@ type Metrics struct {
 	Words int64
 	// Msgs is the total number of messages sent.
 	Msgs int64
+	// Derived holds the registry metrics (metrics.go) computed for this
+	// run: load imbalance, idle fraction, per-phase comm shares, and —
+	// for traced runs — critical-path figures. Treated as read-only
+	// once computed (Metrics values are memoized and shared).
+	Derived map[string]float64
 }
 
 // metricsFrom extracts Metrics from the most recent machine run.
 func metricsFrom(m *sim.Machine) Metrics {
 	var out Metrics
+	stats := m.Stats()
 	out.TotalMS = m.MaxClock() / 1000
-	for _, s := range m.Stats() {
+	for _, s := range stats {
 		prs := s.Phases[ranking.PhasePRS]
 		if local := (s.Comp - prs.Comp) / 1000; local > out.LocalMS {
 			out.LocalMS = local
@@ -107,6 +114,7 @@ func metricsFrom(m *sim.Machine) Metrics {
 		out.Words += s.WordsSent
 		out.Msgs += s.MsgsSent
 	}
+	out.Derived = ComputeDerived(Snapshot{Stats: stats})
 	return out
 }
 
@@ -127,6 +135,11 @@ type Run struct {
 	// SelfSendFree shortcuts self messages to zero cost (ablation of
 	// the paper's policy of routing them through the network).
 	SelfSendFree bool
+	// Trace enables the emulator's observability layer for this run
+	// (sim.Config.Record + Trace): ExecuteTrace then returns the
+	// capture, and the critical-path metrics join Metrics.Derived.
+	// Tracing never changes virtual times; it only records them.
+	Trace bool
 	// Verify additionally checks the result against the sequential
 	// oracle (slower; used by the harness tests).
 	Verify bool
@@ -172,13 +185,29 @@ func fillLocalData(buf []int, rank, n int) []int {
 // Execute runs the operation on a fresh machine and returns its
 // metrics.
 func (r Run) Execute() (Metrics, error) {
+	met, _, err := r.exec()
+	return met, err
+}
+
+// ExecuteTrace is Execute with the observability layer on: it returns
+// the run's trace capture alongside the metrics, and Metrics.Derived
+// additionally carries the critical-path figures.
+func (r Run) ExecuteTrace() (Metrics, *trace.Capture, error) {
+	r.Trace = true
+	return r.exec()
+}
+
+func (r Run) exec() (Metrics, *trace.Capture, error) {
 	params := r.Params
 	if params == (sim.Params{}) {
 		params = sim.CM5Params()
 	}
-	machine, err := sim.New(sim.Config{Procs: r.Layout.Procs(), Params: params, SelfSendFree: r.SelfSendFree, Sched: r.Sched})
+	machine, err := sim.New(sim.Config{
+		Procs: r.Layout.Procs(), Params: params, SelfSendFree: r.SelfSendFree, Sched: r.Sched,
+		Record: r.Trace, Trace: r.Trace,
+	})
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, nil, err
 	}
 
 	// UNPACK needs the vector length up front; the mask generators are
@@ -243,13 +272,25 @@ func (r Run) Execute() (Metrics, error) {
 		}
 	})
 	if err := firstErr.get(); err != nil {
-		return Metrics{}, err
+		return Metrics{}, nil, err
 	}
 	if runErr != nil {
-		return Metrics{}, runErr
+		return Metrics{}, nil, runErr
 	}
 
 	met := metricsFrom(machine)
+	var capture *trace.Capture
+	if r.Trace {
+		capture = trace.CaptureMachine(machine)
+		crit, err := trace.CriticalPath(capture)
+		if err != nil {
+			return met, capture, fmt.Errorf("bench: critical-path analysis: %w", err)
+		}
+		// Re-derive with the critical path in view; the traced map is a
+		// superset of the untraced one, so memoized figures agree either
+		// way on the shared names.
+		met.Derived = ComputeDerived(Snapshot{Stats: capture.Stats, Crit: crit})
+	}
 	if r.Mode == ModeUnpack || r.Mode == ModeUnpackRedist {
 		met.Size = size
 	} else {
@@ -257,10 +298,10 @@ func (r Run) Execute() (Metrics, error) {
 	}
 	if r.Verify {
 		if err := r.verify(results, unpacked, size); err != nil {
-			return met, err
+			return met, capture, err
 		}
 	}
-	return met, nil
+	return met, capture, nil
 }
 
 // verify checks the distributed result against the sequential oracle.

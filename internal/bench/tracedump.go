@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"packunpack/internal/trace"
+)
+
+// TraceDir support (packbench -trace-dir): every machine execution of
+// a sweep runs with the emulator's observability layer on and writes
+// its Chrome trace-event JSON into the directory, one file per
+// experiment point, named after the point's memo key. Memoized points
+// execute (and dump) once — rerunning an experiment that only hits the
+// cache produces no new files, mirroring the machine_runs accounting.
+
+// traceFileName turns a memo key into a safe, collision-free file
+// name: the sanitized key for readability plus a short hash of the
+// exact key (sanitizing is lossy, the hash is not).
+func traceFileName(key string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '=':
+			return r
+		}
+		return '_'
+	}, key)
+	const maxStem = 120
+	if len(clean) > maxStem {
+		clean = clean[:maxStem]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("%s-%08x.trace.json", clean, h.Sum32())
+}
+
+// dumpTrace writes one captured run. Failures are harness errors (bad
+// directory, full disk) and panic like every other engine-internal
+// fault.
+func (s Suite) dumpTrace(key string, c *trace.Capture) {
+	if c == nil {
+		return
+	}
+	path := filepath.Join(s.TraceDir, traceFileName(key))
+	f, err := os.Create(path)
+	if err != nil {
+		panic(fmt.Sprintf("bench: trace dump: %v", err))
+	}
+	if err := trace.WriteChrome(f, c); err != nil {
+		f.Close()
+		panic(fmt.Sprintf("bench: trace dump: %v", err))
+	}
+	if err := f.Close(); err != nil {
+		panic(fmt.Sprintf("bench: trace dump: %v", err))
+	}
+}

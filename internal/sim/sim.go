@@ -118,6 +118,16 @@ type Config struct {
 	// are merged, so the overhead is modest; leave it off for large
 	// parameter sweeps.
 	Record bool
+	// Trace, when set, records structured events (sends, deliveries,
+	// receives, wake-ups, phase transitions, charge batches — see
+	// trace.go) into per-processor buffers retrievable via
+	// Machine.Events after a run. Independent of Record; the exporters
+	// in internal/trace want both.
+	Trace bool
+	// Sink, when non-nil, additionally streams every trace event to the
+	// sink as it is produced (without requiring Trace's buffering). See
+	// EventSink for the concurrency contract.
+	Sink EventSink
 }
 
 // Span is one recorded interval of a processor timeline: [Start, End)
@@ -137,6 +147,7 @@ type message struct {
 	payload any
 	words   int
 	arrival float64 // virtual time at which the message is available
+	id      uint64  // trace message id; zero when tracing is off
 }
 
 // mailbox is an unbounded, tag-matched receive queue. Sends never
@@ -371,9 +382,15 @@ type Machine struct {
 	// parallel sweep harness relies on that.
 	running atomic.Bool
 
-	mu    sync.Mutex
-	stats []Stats
-	spans [][]Span
+	// seq is the machine-global event sequence counter of the
+	// cooperative scheduler (only the running processor touches it, and
+	// handoffs order every access); reset at the start of each Run.
+	seq uint64
+
+	mu     sync.Mutex
+	stats  []Stats
+	spans  [][]Span
+	events [][]Event
 }
 
 // New builds a machine with cfg.Procs processors.
@@ -420,6 +437,7 @@ func (m *Machine) Run(body func(p *Proc)) error {
 		return fmt.Errorf("sim: Machine.Run called concurrently on the same machine")
 	}
 	defer m.running.Store(false)
+	m.seq = 0
 	if m.cfg.Sched == SchedCooperative {
 		return m.runCoop(body)
 	}
@@ -492,10 +510,15 @@ func (m *Machine) finishRun(procs []*Proc, errs []error, diag error) error {
 	m.mu.Lock()
 	m.stats = make([]Stats, m.cfg.Procs)
 	m.spans = make([][]Span, m.cfg.Procs)
+	m.events = make([][]Event, m.cfg.Procs)
 	for i, p := range procs {
+		if p.tracing() {
+			p.flushCharge()
+		}
 		p.stats.Clock = p.clock
 		m.stats[i] = p.stats
 		m.spans[i] = p.spans
+		m.events[i] = p.events
 	}
 	m.mu.Unlock()
 
@@ -528,30 +551,45 @@ func (m *Machine) finishRun(procs []*Proc, errs []error, diag error) error {
 }
 
 // Stats returns the per-processor statistics of the most recent Run,
-// ordered by rank.
+// ordered by rank. The result is a deep copy (including the Phases
+// maps): callers may mutate it, and a later Run cannot corrupt an
+// earlier snapshot.
 func (m *Machine) Stats() []Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]Stats, len(m.stats))
-	copy(out, m.stats)
+	for i, s := range m.stats {
+		phases := make(map[string]PhaseStats, len(s.Phases))
+		for name, ph := range s.Phases {
+			phases[name] = ph
+		}
+		s.Phases = phases
+		out[i] = s
+	}
 	return out
 }
 
 // Spans returns the recorded per-processor timelines of the most
-// recent Run (nil unless Config.Record was set), ordered by rank.
+// recent Run (nil unless Config.Record was set), ordered by rank. The
+// rows are deep copies: mutating them does not touch the machine's
+// snapshot.
 func (m *Machine) Spans() [][]Span {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([][]Span, len(m.spans))
-	copy(out, m.spans)
+	for i, row := range m.spans {
+		out[i] = append([]Span(nil), row...)
+	}
 	return out
 }
 
 // MaxClock returns the largest final virtual clock of the most recent
 // Run in microseconds — the emulator's analogue of elapsed time.
 func (m *Machine) MaxClock() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var max float64
-	for _, s := range m.Stats() {
+	for _, s := range m.stats {
 		if s.Clock > max {
 			max = s.Clock
 		}
@@ -564,7 +602,9 @@ func (m *Machine) MaxClock() float64 {
 // Taking per-component maxima mirrors how the paper reports the slowest
 // processor for each measured stage.
 func (m *Machine) MaxPhase(name string) (total, comp, comm float64) {
-	for _, s := range m.Stats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.stats {
 		ph := s.Phases[name]
 		if t := ph.Comp + ph.Comm; t > total {
 			total = t
@@ -582,12 +622,14 @@ func (m *Machine) MaxPhase(name string) (total, comp, comm float64) {
 // PhaseNames returns the sorted union of phase names seen in the most
 // recent Run.
 func (m *Machine) PhaseNames() []string {
+	m.mu.Lock()
 	seen := map[string]bool{}
-	for _, s := range m.Stats() {
+	for _, s := range m.stats {
 		for name := range s.Phases {
 			seen[name] = true
 		}
 	}
+	m.mu.Unlock()
 	names := make([]string, 0, len(seen))
 	for name := range seen {
 		names = append(names, name)
@@ -609,6 +651,15 @@ type Proc struct {
 	phase string
 	stats Stats
 	spans []Span
+
+	// Event-tracing state (trace.go); all zero when tracing is off.
+	events      []Event
+	seq         uint64 // per-rank event counter (goroutine mode)
+	sends       uint64 // per-rank message counter for MsgID
+	chargeOpen  bool   // a charge batch is pending
+	chargeStart float64
+	chargeEnd   float64
+	chargeOps   int64
 }
 
 // record appends (or extends) a timeline span ending at the current
@@ -645,6 +696,12 @@ func (p *Proc) Clock() float64 { return p.clock }
 //	defer p.SetPhase(p.SetPhase("ranking"))
 func (p *Proc) SetPhase(name string) (previous string) {
 	previous = p.phase
+	if name != previous && p.tracing() {
+		p.flushCharge() // the pending batch belongs to the old phase
+		p.phase = name
+		p.emit(Event{Kind: EvPhase, Time: p.clock, Phase: name})
+		return previous
+	}
 	p.phase = name
 	return previous
 }
@@ -678,7 +735,11 @@ func (p *Proc) Charge(ops int) {
 		return
 	}
 	p.stats.Ops += int64(ops)
+	start := p.clock
 	p.addComp(float64(ops) * p.m.cfg.Params.Delta)
+	if p.tracing() {
+		p.noteCharge(start, int64(ops))
+	}
 }
 
 // Send transmits payload (words machine words long) to processor dst
@@ -699,7 +760,14 @@ func (p *Proc) Send(dst, tag int, payload any, words int) {
 	p.addComm(cost)
 	p.stats.MsgsSent++
 	p.stats.WordsSent += int64(words)
-	p.deliver(dst, message{src: p.rank, tag: tag, payload: payload, words: words, arrival: p.clock})
+	var id uint64
+	if p.tracing() {
+		p.flushCharge()
+		p.sends++
+		id = msgID(p.rank, p.sends)
+		p.emit(Event{Kind: EvSend, Peer: dst, Tag: tag, Words: words, Time: p.clock, Dur: cost, MsgID: id})
+	}
+	p.deliver(dst, message{src: p.rank, tag: tag, payload: payload, words: words, arrival: p.clock, id: id})
 }
 
 // deliver appends a message to dst's mailbox. In cooperative mode
@@ -707,6 +775,10 @@ func (p *Proc) Send(dst, tag int, payload any, words int) {
 // establish the ordering), so the queue is appended to directly; in
 // goroutine mode the locked put wakes any blocked receiver.
 func (p *Proc) deliver(dst int, m message) {
+	if p.tracing() {
+		p.flushCharge()
+		p.emit(Event{Kind: EvDeliver, Peer: dst, Tag: m.tag, Words: m.words, Time: m.arrival, MsgID: m.id})
+	}
 	if p.cs != nil {
 		b := p.m.boxes[dst]
 		b.queue = append(b.queue, m)
@@ -724,7 +796,12 @@ func (p *Proc) SendFree(dst, tag int, payload any) {
 	if dst < 0 || dst >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("sim: SendFree to invalid rank %d (P=%d)", dst, p.m.cfg.Procs))
 	}
-	p.deliver(dst, message{src: p.rank, tag: tag, payload: payload, arrival: p.clock})
+	var id uint64
+	if p.tracing() {
+		p.sends++
+		id = msgID(p.rank, p.sends)
+	}
+	p.deliver(dst, message{src: p.rank, tag: tag, payload: payload, arrival: p.clock, id: id})
 }
 
 // Recv blocks until a message with the given source and tag arrives and
@@ -735,6 +812,12 @@ func (p *Proc) Recv(src, tag int) (payload any, words int) {
 	if src < 0 || src >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("sim: Recv from invalid rank %d (P=%d)", src, p.m.cfg.Procs))
 	}
+	traced := p.tracing()
+	blockClock := p.clock
+	if traced {
+		p.flushCharge()
+		p.emit(Event{Kind: EvRecvBlock, Peer: src, Tag: tag, Time: p.clock})
+	}
 	var msg message
 	if p.cs != nil {
 		msg = p.box.takeCoop(p.cs, p.rank, src, tag)
@@ -743,6 +826,9 @@ func (p *Proc) Recv(src, tag int) (payload any, words int) {
 	}
 	if msg.arrival > p.clock {
 		p.addComm(msg.arrival - p.clock)
+	}
+	if traced {
+		p.emit(Event{Kind: EvRecvWake, Peer: src, Tag: tag, Words: msg.words, Time: p.clock, Dur: p.clock - blockClock, MsgID: msg.id})
 	}
 	return msg.payload, msg.words
 }

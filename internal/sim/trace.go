@@ -1,0 +1,209 @@
+package sim
+
+// This file is the structured event-tracing layer of the emulator
+// (Config.Trace / Config.Sink). Where the span recorder (Config.Record)
+// answers "what was each processor doing over time", the event stream
+// answers "which message, from whom, when, and why did it matter":
+// every send, delivery, posted receive, wake-up, phase transition, and
+// charge batch becomes one Event with virtual timestamps and enough
+// identity (message ids, sequence numbers) to reconstruct send→receive
+// flows and blocking chains after the run. The exporters in
+// internal/trace (Chrome/Perfetto JSON, communication matrices, the
+// critical-path analyzer) all consume this stream.
+//
+// Overhead discipline: tracing is opt-in and the hot paths pay exactly
+// one nil/bool check when it is off. When it is on, contiguous Charge
+// calls in the same phase collapse into a single pending batch that is
+// flushed lazily (on the next communication event, phase switch, or at
+// body end), so a tight scan loop of N Charge calls produces one event,
+// not N. Events carry no pointers into simulator state; buffers are
+// per-processor and only the owning processor appends, which keeps the
+// goroutine mode race-free without locks.
+
+// EventKind enumerates the structured trace event types.
+type EventKind uint8
+
+const (
+	// EvSend marks a completed message send on the sender's timeline:
+	// Time is the completion instant (= the receiver-visible arrival
+	// time), Dur the Tau+Mu*words occupancy, Peer the destination.
+	EvSend EventKind = iota
+	// EvDeliver marks the message being enqueued at the destination
+	// mailbox. It is recorded on the sender's timeline (the sender
+	// performs the delivery) with Peer = destination; for SendFree
+	// messages it is the only record of the transfer.
+	EvDeliver
+	// EvRecvBlock marks a receive being posted: the processor asked for
+	// (Peer, Tag) at Time and will consume the matching message, waiting
+	// if it has not arrived yet.
+	EvRecvBlock
+	// EvRecvWake marks the receive completing: Time is the instant the
+	// processor proceeds (its clock after any wait), Dur the waited
+	// virtual time (zero when the message had already arrived), Peer the
+	// source, and MsgID links back to the matching EvSend/EvDeliver.
+	EvRecvWake
+	// EvPhase marks a phase transition; Phase is the new phase name.
+	EvPhase
+	// EvCharge is a merged batch of local elementary operations: Ops
+	// operations ending at Time, Dur virtual microseconds long.
+	// Contiguous charges in one phase collapse into a single event.
+	EvCharge
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvDeliver:
+		return "deliver"
+	case EvRecvBlock:
+		return "recv-block"
+	case EvRecvWake:
+		return "recv-wake"
+	case EvPhase:
+		return "phase"
+	case EvCharge:
+		return "charge"
+	}
+	return "unknown"
+}
+
+// Event is one structured trace record. All times are virtual
+// microseconds on the emulated machine's clocks.
+type Event struct {
+	// Kind discriminates the record; see the EventKind constants for
+	// which of the remaining fields are meaningful.
+	Kind EventKind
+	// Seq is the event's sequence number. Under the cooperative
+	// scheduler it is a machine-global counter, so the total order of
+	// events is deterministic across runs; under the goroutine scheduler
+	// it is per-processor (per-rank streams are still ordered, but the
+	// interleaving between ranks is whatever the host produced).
+	Seq uint64
+	// Rank is the processor whose timeline the event belongs to.
+	Rank int
+	// Peer is the other endpoint: destination for EvSend/EvDeliver,
+	// source for EvRecvBlock/EvRecvWake.
+	Peer int
+	// Tag is the message tag for communication events.
+	Tag int
+	// Words is the message length in machine words.
+	Words int
+	// Ops is the operation count of an EvCharge batch.
+	Ops int64
+	// Time is the virtual instant the event occurs (for EvSend the send
+	// completion, for EvRecvWake the wake-up, for EvCharge the batch
+	// end).
+	Time float64
+	// Dur is the event's extent: send occupancy, receive wait, or
+	// charge-batch length.
+	Dur float64
+	// Phase is the cost-attribution phase current when the event was
+	// recorded (for EvPhase, the phase being switched to).
+	Phase string
+	// MsgID identifies a message across its send, delivery, and receive
+	// events; it is unique within a run and deterministic in both
+	// scheduler modes (rank-qualified send counter). Zero means "not a
+	// message event" or "tracing was off when the message was sent".
+	MsgID uint64
+}
+
+// EventSink receives every trace event as it is produced, in timeline
+// order per processor. Emit is called by the logical processor that
+// owns the event: under the cooperative scheduler calls are fully
+// serialized, under the goroutine scheduler different ranks call
+// concurrently and the sink must be safe for that. Implementations
+// must be cheap — they run on the emulator's hot path.
+type EventSink interface {
+	Emit(Event)
+}
+
+// msgID builds the rank-qualified message id: the sender's rank in the
+// high bits, its running send count in the low bits. Deterministic in
+// both scheduler modes because each processor numbers only its own
+// sends.
+func msgID(rank int, n uint64) uint64 {
+	return uint64(rank)<<40 | n
+}
+
+// MsgIDSrc recovers the sending rank encoded in a message id.
+func MsgIDSrc(id uint64) int { return int(id >> 40) }
+
+// tracing reports whether the processor records events.
+func (p *Proc) tracing() bool {
+	return p.m.cfg.Trace || p.m.cfg.Sink != nil
+}
+
+// nextSeq returns the next event sequence number: machine-global (and
+// therefore deterministic) under the cooperative scheduler, per-rank
+// under the goroutine scheduler.
+func (p *Proc) nextSeq() uint64 {
+	if p.cs != nil {
+		p.m.seq++
+		return p.m.seq
+	}
+	p.seq++
+	return p.seq
+}
+
+// emit stamps and records one event. Callers must have flushed any
+// pending charge batch first so the stream stays in timeline order.
+func (p *Proc) emit(ev Event) {
+	ev.Seq = p.nextSeq()
+	ev.Rank = p.rank
+	if ev.Phase == "" {
+		ev.Phase = p.phase
+	}
+	if p.m.cfg.Trace {
+		p.events = append(p.events, ev)
+	}
+	if p.m.cfg.Sink != nil {
+		p.m.cfg.Sink.Emit(ev)
+	}
+}
+
+// noteCharge folds one Charge call into the pending batch, starting a
+// new batch when the charge is not contiguous with it (different phase
+// or an intervening event).
+func (p *Proc) noteCharge(start float64, ops int64) {
+	if p.chargeOpen && p.chargeEnd == start {
+		p.chargeEnd = p.clock
+		p.chargeOps += ops
+		return
+	}
+	p.flushCharge()
+	p.chargeOpen = true
+	p.chargeStart = start
+	p.chargeEnd = p.clock
+	p.chargeOps = ops
+}
+
+// flushCharge emits the pending charge batch, if any. Called before
+// every non-charge event, on phase transitions, and at body end, so a
+// batch can never straddle another event in the stream.
+func (p *Proc) flushCharge() {
+	if !p.chargeOpen {
+		return
+	}
+	p.chargeOpen = false
+	p.emit(Event{
+		Kind: EvCharge,
+		Ops:  p.chargeOps,
+		Time: p.chargeEnd,
+		Dur:  p.chargeEnd - p.chargeStart,
+	})
+}
+
+// Events returns the structured event streams of the most recent Run,
+// ordered by rank (nil rows unless Config.Trace was set). Like Stats
+// and Spans, the result is a deep copy: callers may mutate it freely
+// without corrupting the machine's snapshot.
+func (m *Machine) Events() [][]Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][]Event, len(m.events))
+	for i, row := range m.events {
+		out[i] = append([]Event(nil), row...)
+	}
+	return out
+}

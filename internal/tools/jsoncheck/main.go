@@ -1,0 +1,64 @@
+// Command jsoncheck validates a JSON file from a separate process, for
+// the Makefile/CI smoke targets: the writers (packbench, packtrace)
+// already self-check, but a reader that shares none of their code is
+// what actually proves the artifact parses in the wild.
+//
+// Usage:
+//
+//	jsoncheck FILE                 # file parses as a JSON object
+//	jsoncheck FILE key             # ...and has a non-empty top-level key
+//	jsoncheck FILE key=value       # ...and the key is that exact string
+//
+// Multiple assertions may be given; all must hold.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jsoncheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fail("usage: jsoncheck FILE [key | key=value]...")
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("%s does not parse as a JSON object: %v", path, err)
+	}
+
+	for _, assert := range os.Args[2:] {
+		key, want, exact := assert, "", false
+		if i := strings.IndexByte(assert, '='); i >= 0 {
+			key, want, exact = assert[:i], assert[i+1:], true
+		}
+		raw, ok := doc[key]
+		if !ok {
+			fail("%s: missing top-level key %q", path, key)
+		}
+		if exact {
+			var got string
+			if err := json.Unmarshal(raw, &got); err != nil {
+				fail("%s: key %q is not a string: %v", path, key, err)
+			}
+			if got != want {
+				fail("%s: key %q = %q, want %q", path, key, got, want)
+			}
+		} else if len(raw) == 0 || string(raw) == "null" || string(raw) == "[]" ||
+			string(raw) == "{}" || string(raw) == `""` {
+			fail("%s: top-level key %q is empty", path, key)
+		}
+	}
+	fmt.Printf("jsoncheck: %s ok (%d assertions)\n", path, len(os.Args)-2)
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"packunpack/internal/sim"
+)
+
+// Capture is one finished run's observability snapshot: the statistics,
+// span timelines, and structured event streams the exporters in this
+// package consume. All slices are owned by the capture (sim's accessors
+// deep-copy), so a capture stays valid across later runs of the same
+// machine.
+type Capture struct {
+	Procs  int
+	Params sim.Params
+	Stats  []sim.Stats
+	Spans  [][]sim.Span
+	Events [][]sim.Event
+}
+
+// CaptureMachine snapshots the most recent run of m. For the full
+// picture the machine should have been built with both Config.Record
+// (spans) and Config.Trace (events); exporters degrade gracefully when
+// one is missing (the Chrome export loses slices or flows, the matrix
+// and critical path need events).
+func CaptureMachine(m *sim.Machine) *Capture {
+	return &Capture{
+		Procs:  m.Procs(),
+		Params: m.Params(),
+		Stats:  m.Stats(),
+		Spans:  m.Spans(),
+		Events: m.Events(),
+	}
+}
+
+// Makespan returns the largest final clock in the capture, µs.
+func (c *Capture) Makespan() float64 {
+	var max float64
+	for _, s := range c.Stats {
+		if s.Clock > max {
+			max = s.Clock
+		}
+	}
+	return max
+}
+
+// HasEvents reports whether any rank recorded structured events.
+func (c *Capture) HasEvents() bool {
+	for _, row := range c.Events {
+		if len(row) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"packunpack/internal/sim"
+)
+
+// This file exports a capture in the Chrome trace-event JSON format,
+// which Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+// Each processor becomes one thread track holding "X" (complete) slices
+// from the span timeline; send→receive pairs become flow events ("s"
+// start on the sender, "f" finish on the receiver), which the viewers
+// draw as arrows between tracks — the SSS request storms versus the
+// CMS single-exchange pattern become directly visible. Timestamps are
+// the emulator's virtual microseconds (the trace-event unit is also
+// microseconds, so no scaling is applied).
+
+// chromeEvent is one trace-event record. Field order is fixed by the
+// struct, and encoding/json emits struct fields in declaration order,
+// so the export is byte-stable — the golden test depends on that.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  float64     `json:"dur,omitempty"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	ID   string      `json:"id,omitempty"`
+	BP   string      `json:"bp,omitempty"`
+	S    string      `json:"s,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs is the args payload; pointers-to-struct with omitempty
+// keep absent groups out of the JSON entirely.
+type chromeArgs struct {
+	Name  string `json:"name,omitempty"`  // metadata events
+	Phase string `json:"phase,omitempty"` // slices
+	Kind  string `json:"kind,omitempty"`
+	Src   *int   `json:"src,omitempty"` // flows
+	Dst   *int   `json:"dst,omitempty"`
+	Tag   *int   `json:"tag,omitempty"`
+	Words *int   `json:"words,omitempty"`
+	Ops   *int64 `json:"ops,omitempty"` // charge batches
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+func intp(v int) *int       { return &v }
+func int64p(v int64) *int64 { return &v }
+
+// spanKind labels a span for the slice name and category.
+func spanKind(comm bool) string {
+	if comm {
+		return "comm"
+	}
+	return "comp"
+}
+
+// WriteChrome writes the capture as Chrome trace-event JSON. The
+// output is deterministic for a deterministic capture (cooperative
+// scheduling), which the golden test locks in.
+func WriteChrome(w io.Writer, c *Capture) error {
+	evs := []chromeEvent{
+		{Name: "process_name", Ph: "M", Args: &chromeArgs{Name: "packunpack machine"}},
+	}
+	for rank := 0; rank < c.Procs; rank++ {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Tid: rank,
+			Args: &chromeArgs{Name: fmt.Sprintf("p%d", rank)},
+		})
+	}
+
+	// Slices: one "X" event per recorded span.
+	for rank, row := range c.Spans {
+		for _, s := range row {
+			evs = append(evs, chromeEvent{
+				Name: s.Phase + "/" + spanKind(s.Comm),
+				Cat:  spanKind(s.Comm),
+				Ph:   "X",
+				Ts:   s.Start,
+				Dur:  s.End - s.Start,
+				Tid:  rank,
+				Args: &chromeArgs{Phase: s.Phase, Kind: spanKind(s.Comm)},
+			})
+		}
+	}
+
+	// Flows and instants from the event stream. Flow start ("s") sits at
+	// the send completion on the sender track, flow finish ("f", binding
+	// point "e" = enclosing slice) at the wake on the receiver track;
+	// viewers match them by (cat, name, id).
+	for rank, row := range c.Events {
+		for _, e := range row {
+			switch e.Kind {
+			case sim.EvSend:
+				evs = append(evs, chromeEvent{
+					Name: "msg", Cat: "flow", Ph: "s",
+					Ts: e.Time, Tid: rank, ID: fmt.Sprintf("%#x", e.MsgID),
+					Args: &chromeArgs{Src: intp(rank), Dst: intp(e.Peer), Tag: intp(e.Tag), Words: intp(e.Words)},
+				})
+			case sim.EvRecvWake:
+				if e.MsgID == 0 {
+					continue // untraced sender; no flow to draw
+				}
+				evs = append(evs, chromeEvent{
+					Name: "msg", Cat: "flow", Ph: "f", BP: "e",
+					Ts: e.Time, Tid: rank, ID: fmt.Sprintf("%#x", e.MsgID),
+					Args: &chromeArgs{Src: intp(e.Peer), Dst: intp(rank), Tag: intp(e.Tag), Words: intp(e.Words)},
+				})
+			case sim.EvPhase:
+				evs = append(evs, chromeEvent{
+					Name: "phase:" + e.Phase, Cat: "phase", Ph: "i", S: "t",
+					Ts: e.Time, Tid: rank,
+				})
+			case sim.EvCharge:
+				// Slices already show the computation; a counter-style
+				// instant would only duplicate them. Expose the batch ops
+				// as an instant only when there is no span timeline.
+				if len(c.Spans) > rank && len(c.Spans[rank]) > 0 {
+					continue
+				}
+				evs = append(evs, chromeEvent{
+					Name: "charge", Cat: "comp", Ph: "i", S: "t",
+					Ts: e.Time, Tid: rank, Args: &chromeArgs{Ops: int64p(e.Ops)},
+				})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{DisplayTimeUnit: "ms", TraceEvents: evs})
+}

@@ -44,14 +44,33 @@ func Gantt(w io.Writer, spans [][]sim.Span, width int) {
 	if width <= 0 {
 		width = 72
 	}
+	// Arbitrarily wide charts only smear spans across unreadable
+	// columns (and overflow column arithmetic); clamp to something no
+	// terminal exceeds.
+	const maxWidth = 4096
+	if width > maxWidth {
+		width = maxWidth
+	}
 	var end float64
+	haveSpans := false
 	for _, row := range spans {
-		if n := len(row); n > 0 && row[n-1].End > end {
-			end = row[n-1].End
+		if n := len(row); n > 0 {
+			haveSpans = true
+			if row[n-1].End > end {
+				end = row[n-1].End
+			}
 		}
 	}
 	if end == 0 {
-		fmt.Fprintln(w, "trace: no recorded spans (was sim.Config.Record set?)")
+		// Distinguish "nothing was recorded" (recording off, or nothing
+		// ran) from "spans exist but the run took zero virtual time"
+		// (all cost parameters zero) — the old hint blamed
+		// sim.Config.Record for both.
+		if haveSpans {
+			fmt.Fprintln(w, "trace: all recorded spans have zero duration (zero-cost run; nothing to chart)")
+		} else {
+			fmt.Fprintln(w, "trace: no recorded spans (was sim.Config.Record set?)")
+		}
 		return
 	}
 	scale := float64(width) / end
@@ -66,6 +85,9 @@ func Gantt(w io.Writer, spans [][]sim.Span, width int) {
 		for _, s := range row {
 			lo := int(s.Start * scale)
 			hi := int(s.End * scale)
+			if lo >= width {
+				lo = width - 1 // float rounding at the right edge
+			}
 			if hi >= width {
 				hi = width - 1
 			}
