@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf ci
+.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate ci
 
 all: build
 
@@ -48,6 +48,25 @@ smoke-trace:
 # failure, and jsoncheck re-verifies from a separate process).
 validate-perf:
 	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 2 -json /tmp/packbench-perf.json >/dev/null
-	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-perf.json schema=packbench-perf/v3
+	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-perf.json schema=packbench-perf/v4
 
-ci: vet staticcheck build race smoke smoke-trace validate-perf
+# perfgate is the CI perf-regression gate: re-run the full quick sweep
+# and diff it against the committed baseline with cmd/packdiff. Virtual
+# metrics must match the baseline bit-for-bit — any drift is a
+# correctness regression and fails the build. Wall/alloc deltas are
+# reported but only gate when packdiff runs with -fail-on-wall (CI
+# machines are too noisy for that to be the default).
+#
+# The sweep is pinned to -parallel 1: virtual results are bit-exact
+# only between serial runs (worker completion order perturbs float
+# accumulation; see DESIGN.md §10). -samples 5 gives each row robust
+# wall statistics.
+PERFGATE_BASELINE ?= BENCH_pr3.json
+PERFGATE_OUT      ?= /tmp/packbench-perfgate.json
+PERFGATE_DELTA    ?= /tmp/packdiff-delta.md
+perfgate:
+	$(GO) run ./cmd/packbench -exp all -quick -seed 1 -parallel 1 -sched coop \
+		-samples 5 -json $(PERFGATE_OUT) >/dev/null
+	$(GO) run ./cmd/packdiff -o $(PERFGATE_DELTA) $(PERFGATE_BASELINE) $(PERFGATE_OUT)
+
+ci: vet staticcheck build race smoke smoke-trace validate-perf perfgate

@@ -9,6 +9,7 @@
 //	packbench -parallel 1         # serial sweep (output is identical either way)
 //	packbench -sched goroutine    # concurrent emulator mode (default: coop)
 //	packbench -json perf.json     # also write a host-performance report
+//	packbench -samples 5          # repeat each replay 5x for robust wall stats
 //	packbench -list               # show the available experiment ids
 //
 // All reported times are virtual machine times under the two-level
@@ -42,8 +43,15 @@ func main() {
 	schedFlag := flag.String("sched", "coop", "emulator scheduling mode: coop (cooperative, virtual-clock ordered) or goroutine (concurrent)")
 	jsonPath := flag.String("json", "", "write a host-performance report (schema "+bench.PerfSchema+") to this file")
 	traceDir := flag.String("trace-dir", "", "run every experiment point with event tracing on and dump one Chrome trace-event JSON per point into this directory")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (samples carry experiment/stage/scheme labels)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	samples := flag.Int("samples", 1, "wall-clock samples per experiment: repeat each warm-cache replay this many times and report median/p10/p90/MAD")
 	flag.Parse()
+
+	if *samples < 1 {
+		fmt.Fprintf(os.Stderr, "packbench: -samples must be >= 1\n")
+		os.Exit(2)
+	}
 
 	sched, err := sim.ParseSched(*schedFlag)
 	if err != nil {
@@ -54,6 +62,7 @@ func main() {
 	suite := bench.NewSuite(*quick, *seed)
 	suite.Workers = *parallel
 	suite.Sched = sched
+	suite.Samples = *samples
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
@@ -113,7 +122,13 @@ func main() {
 		perfs = append(perfs, perf...)
 	}
 
+	// The header carries the environment fingerprint and sample count
+	// so a pasted table is self-describing: virtual times are
+	// host-independent, but anyone comparing the wall figures needs to
+	// know what they were measured under.
+	env := suite.Environment()
 	fmt.Printf("packbench: %s (quick=%v, seed=%d, sched=%s)\n", *exp, *quick, *seed, sched)
+	fmt.Printf("env: %s\n", env)
 	fmt.Printf("machine model: CM-5-flavoured two-level cost model; times are virtual ms\n\n")
 	bench.RenderAll(os.Stdout, tables)
 	if *outPath != "" {
@@ -138,6 +153,8 @@ func main() {
 			Sched:       sched.String(),
 			Quick:       *quick,
 			Seed:        *seed,
+			Samples:     *samples,
+			Env:         &env,
 			Experiments: perfs,
 			Total:       bench.SumPerf(perfs),
 		}
@@ -170,4 +187,22 @@ func main() {
 		fmt.Printf("wrote %s (schema %s)\n", *jsonPath, check.Schema)
 	}
 	fmt.Printf("generated %d tables in %.1fs wall time (parallel=%d)\n", len(tables), time.Since(start).Seconds(), *parallel)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *memProfile)
+	}
 }

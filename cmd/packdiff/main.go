@@ -1,0 +1,102 @@
+// Command packdiff compares two packbench perf reports (schema
+// packbench-perf/v1 through v4) under the pipeline's exact-vs-noisy
+// rule:
+//
+//   - virtual_ms and the derived registry means are exact replays of
+//     the cost model — any drift between reports of the same grid is a
+//     correctness regression in the emulator and exits non-zero;
+//   - wall-clock and allocation figures are host measurements — they
+//     are compared per experiment row against a relative threshold,
+//     and (when both reports carry raw samples, schema v4) a
+//     Mann–Whitney U test separates real deltas from noise.
+//
+// Usage:
+//
+//	packdiff OLD.json NEW.json              # markdown delta table, exit 1 on virtual drift
+//	packdiff -format tsv OLD.json NEW.json  # tab-separated table
+//	packdiff -threshold 0.05 -alpha 0.01 -fail-on-wall OLD.json NEW.json
+//	packdiff -o delta.md OLD.json NEW.json  # also used by `make perfgate`
+//
+// Exit codes: 0 clean; 1 virtual-metric drift; 2 usage or unreadable
+// report; 3 significant wall-clock regression (only with
+// -fail-on-wall).
+//
+// Exact comparison assumes both reports were generated at -parallel 1
+// with the same experiment set, seed and -quick setting (worker
+// completion order perturbs the floating-point accumulation of
+// virtual_ms, and the parallel collect pass over-collects on
+// data-dependent grids). `make perfgate` pins those knobs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"packunpack/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative wall/alloc delta |new/old - 1| worth flagging")
+	alpha := flag.Float64("alpha", 0.05, "Mann-Whitney significance level for sampled wall deltas")
+	format := flag.String("format", "md", "delta table format: md or tsv")
+	outPath := flag.String("o", "", "write the delta table to this file instead of stdout")
+	failOnWall := flag.Bool("fail-on-wall", false, "exit 3 when a significant wall-clock regression exceeds the threshold")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: packdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *format != "md" && *format != "tsv" {
+		fmt.Fprintf(os.Stderr, "packdiff: unknown format %q (md or tsv)\n", *format)
+		os.Exit(2)
+	}
+
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	oldRep, err := bench.LoadPerfReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "packdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRep, err := bench.LoadPerfReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "packdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	d := bench.DiffReports(oldRep, newRep, bench.DiffOptions{Threshold: *threshold, Alpha: *alpha})
+	d.OldPath, d.NewPath = oldPath, newPath
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packdiff: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	switch *format {
+	case "md":
+		d.WriteMarkdown(out)
+	case "tsv":
+		d.WriteTSV(out)
+	}
+
+	if vm := d.VirtualMismatches(); vm > 0 {
+		fmt.Fprintf(os.Stderr, "packdiff: %d row(s) drifted on exact virtual metrics — correctness regression\n", vm)
+		os.Exit(1)
+	}
+	if *failOnWall {
+		if wr := d.WallRegressions(); wr > 0 {
+			fmt.Fprintf(os.Stderr, "packdiff: %d row(s) regressed on wall clock beyond ±%.0f%%\n", wr, *threshold*100)
+			os.Exit(3)
+		}
+	}
+}

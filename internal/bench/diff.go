@@ -1,0 +1,383 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"packunpack/internal/stats"
+)
+
+// This file is the perf-report comparator behind cmd/packdiff. The
+// comparison rule splits the report's metrics into two classes:
+//
+//   - Virtual metrics (virtual_ms and the derived registry means) are
+//     exact replays of the cost model: two runs of the same grid at
+//     the same -parallel class must agree bit-for-bit. Any drift is a
+//     correctness regression in the emulator or the experiment grid —
+//     never host noise — so it is compared with ==, not a tolerance.
+//   - Wall-clock and allocation figures are host measurements. They
+//     are compared per row against a relative threshold and, when both
+//     reports carry raw samples (schema v4), a Mann–Whitney U test
+//     decides whether the delta is distinguishable from noise.
+//
+// Note the -parallel caveat: worker completion order perturbs the
+// floating-point accumulation of virtual_ms, and the collect dry-pass
+// over-collects on data-dependent generators (table1's crossover
+// search), so exact comparison is only guaranteed between reports
+// generated at -parallel 1. The perf gate pins that.
+
+// SchemaVersion extracts the numeric version of a packbench-perf
+// schema marker ("packbench-perf/v3" -> 3).
+func SchemaVersion(schema string) (int, error) {
+	const prefix = "packbench-perf/v"
+	if !strings.HasPrefix(schema, prefix) {
+		return 0, fmt.Errorf("not a packbench-perf schema: %q", schema)
+	}
+	v, err := strconv.Atoi(schema[len(prefix):])
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("malformed schema version: %q", schema)
+	}
+	return v, nil
+}
+
+// LoadPerfReport reads and validates a perf report of any schema
+// version v1–v4. Fields a version lacks read as their zero values
+// (v1 has no sched, v1–v3 no samples/env/wall_stats).
+func LoadPerfReport(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r PerfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	v, err := SchemaVersion(r.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	maxKnown, _ := SchemaVersion(PerfSchema)
+	if v > maxKnown {
+		return nil, fmt.Errorf("%s: schema %s is newer than this tool understands (%s)", path, r.Schema, PerfSchema)
+	}
+	if len(r.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: report has no experiment rows", path)
+	}
+	return &r, nil
+}
+
+// DiffOptions configures the noisy-metric comparison. The virtual
+// comparison is not configurable: it is always exact.
+type DiffOptions struct {
+	// Threshold is the relative wall/alloc delta |new/old - 1| above
+	// which a row is flagged (default 0.10).
+	Threshold float64
+	// Alpha is the Mann–Whitney significance level: when both rows
+	// carry ≥2 samples, a flagged wall delta must also have p <= Alpha
+	// to count as a regression/improvement (default 0.05).
+	Alpha float64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.Threshold == 0 {
+		o.Threshold = 0.10
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	return o
+}
+
+// RowDiff is the comparison of one experiment row present in both
+// reports.
+type RowDiff struct {
+	ID string
+
+	// Wall comparison (noisy).
+	OldWallMS, NewWallMS float64
+	// WallDelta is (new-old)/old; NaN when old is zero.
+	WallDelta float64
+	// P is the Mann–Whitney two-sided p-value over the rows' raw wall
+	// samples; NaN when either side lacks ≥2 samples (pre-v4 reports).
+	P float64
+	// WallFlagged: the delta exceeds the threshold and, when P is
+	// available, is significant at alpha.
+	WallFlagged bool
+
+	// Allocation comparison (noisy, but far more stable than wall).
+	OldAllocs, NewAllocs uint64
+	AllocDelta           float64
+	AllocFlagged         bool
+
+	// Virtual comparison (exact).
+	OldVirtualMS, NewVirtualMS float64
+	VirtualMatch               bool
+	// DerivedDrift names derived metrics present in both rows whose
+	// values differ (bit-for-bit comparison).
+	DerivedDrift []string
+
+	// StructureDrift notes row-shape changes (tables, rows,
+	// machine_runs) — informational, since a PR may legitimately grow
+	// the grid, but worth surfacing next to the timing deltas.
+	StructureDrift []string
+}
+
+// VirtualOK reports whether the row's exact-class metrics all match.
+func (r RowDiff) VirtualOK() bool {
+	return r.VirtualMatch && len(r.DerivedDrift) == 0
+}
+
+// Diff is the full comparison of two perf reports.
+type Diff struct {
+	Old, New         *PerfReport
+	OldPath, NewPath string
+	Opt              DiffOptions
+	// Rows covers ids present in both reports, in the new report's
+	// order (the total line "all" included).
+	Rows []RowDiff
+	// OnlyOld / OnlyNew list ids present in a single report.
+	OnlyOld, OnlyNew []string
+	// EnvDiffers notes that the two reports were measured under
+	// different host environments, making wall comparisons suspect.
+	EnvDiffers bool
+}
+
+// VirtualMismatches counts rows whose exact-class metrics drifted.
+func (d *Diff) VirtualMismatches() int {
+	n := 0
+	for _, r := range d.Rows {
+		if !r.VirtualOK() {
+			n++
+		}
+	}
+	return n
+}
+
+// WallRegressions counts flagged rows that got slower.
+func (d *Diff) WallRegressions() int {
+	n := 0
+	for _, r := range d.Rows {
+		if r.WallFlagged && r.WallDelta > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// relDelta returns (new-old)/old, NaN when old is zero and new isn't.
+func relDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return (new - old) / old
+}
+
+// envOf summarizes the comparable environment of a report, falling
+// back to the v1–v3 top-level fields when the env object is absent.
+func envOf(r *PerfReport) string {
+	if r.Env != nil {
+		return fmt.Sprintf("%s %s/%s cpu=%d maxprocs=%d", r.Env.GoVersion, r.Env.GOOS, r.Env.GOARCH, r.Env.NumCPU, r.Env.GOMAXPROCS)
+	}
+	return fmt.Sprintf("%s cpu=%d", r.GoVersion, r.NumCPU)
+}
+
+// DiffReports compares two perf reports under the exact-vs-noisy rule.
+func DiffReports(old, new *PerfReport, opt DiffOptions) *Diff {
+	opt = opt.withDefaults()
+	d := &Diff{Old: old, New: new, Opt: opt}
+	d.EnvDiffers = envOf(old) != envOf(new) ||
+		old.Quick != new.Quick || old.Seed != new.Seed
+
+	oldRows := make(map[string]ExperimentPerf, len(old.Experiments)+1)
+	for _, e := range old.Experiments {
+		oldRows[e.ID] = e
+	}
+	oldRows[old.Total.ID] = old.Total
+
+	newIDs := make(map[string]bool, len(new.Experiments)+1)
+	compare := func(e ExperimentPerf) {
+		newIDs[e.ID] = true
+		oe, ok := oldRows[e.ID]
+		if !ok {
+			d.OnlyNew = append(d.OnlyNew, e.ID)
+			return
+		}
+		d.Rows = append(d.Rows, diffRow(oe, e, opt))
+	}
+	for _, e := range new.Experiments {
+		compare(e)
+	}
+	compare(new.Total)
+	for _, e := range old.Experiments {
+		if !newIDs[e.ID] {
+			d.OnlyOld = append(d.OnlyOld, e.ID)
+		}
+	}
+	if !newIDs[old.Total.ID] {
+		d.OnlyOld = append(d.OnlyOld, old.Total.ID)
+	}
+	return d
+}
+
+func diffRow(old, new ExperimentPerf, opt DiffOptions) RowDiff {
+	r := RowDiff{
+		ID:           new.ID,
+		OldWallMS:    old.WallMS,
+		NewWallMS:    new.WallMS,
+		WallDelta:    relDelta(old.WallMS, new.WallMS),
+		P:            math.NaN(),
+		OldAllocs:    old.Allocs,
+		NewAllocs:    new.Allocs,
+		AllocDelta:   relDelta(float64(old.Allocs), float64(new.Allocs)),
+		OldVirtualMS: old.VirtualMS,
+		NewVirtualMS: new.VirtualMS,
+		VirtualMatch: old.VirtualMS == new.VirtualMS,
+	}
+
+	if len(old.WallSamplesMS) >= 2 && len(new.WallSamplesMS) >= 2 {
+		r.P = stats.MannWhitneyU(old.WallSamplesMS, new.WallSamplesMS).P
+	}
+	overThreshold := !math.IsNaN(r.WallDelta) && math.Abs(r.WallDelta) > opt.Threshold
+	if math.IsNaN(r.P) {
+		r.WallFlagged = overThreshold
+	} else {
+		r.WallFlagged = overThreshold && r.P <= opt.Alpha
+	}
+	r.AllocFlagged = !math.IsNaN(r.AllocDelta) && math.Abs(r.AllocDelta) > opt.Threshold
+
+	// Exact comparison of the derived means over the keys both rows
+	// carry. Keys present on one side only are grid/schema evolution,
+	// not emulator drift (e.g. a v2 report has no derived object at
+	// all), so they do not fail the gate.
+	for name, ov := range old.Derived {
+		if nv, ok := new.Derived[name]; ok && nv != ov {
+			r.DerivedDrift = append(r.DerivedDrift, name)
+		}
+	}
+	sort.Strings(r.DerivedDrift)
+
+	if old.Tables != new.Tables {
+		r.StructureDrift = append(r.StructureDrift, fmt.Sprintf("tables %d→%d", old.Tables, new.Tables))
+	}
+	if old.Rows != new.Rows {
+		r.StructureDrift = append(r.StructureDrift, fmt.Sprintf("rows %d→%d", old.Rows, new.Rows))
+	}
+	if old.MachineRuns != new.MachineRuns {
+		r.StructureDrift = append(r.StructureDrift, fmt.Sprintf("machine_runs %d→%d", old.MachineRuns, new.MachineRuns))
+	}
+	return r
+}
+
+// formatting helpers shared by the two renderers.
+
+func fmtDelta(d float64) string {
+	if math.IsNaN(d) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", d*100)
+}
+
+func fmtP(p float64) string {
+	if math.IsNaN(p) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", p)
+}
+
+func (r RowDiff) virtualCell() string {
+	if r.VirtualOK() {
+		return "ok"
+	}
+	var parts []string
+	if !r.VirtualMatch {
+		parts = append(parts, fmt.Sprintf("virtual_ms %v→%v", r.OldVirtualMS, r.NewVirtualMS))
+	}
+	if len(r.DerivedDrift) > 0 {
+		parts = append(parts, "derived: "+strings.Join(r.DerivedDrift, " "))
+	}
+	return "DRIFT(" + strings.Join(parts, "; ") + ")"
+}
+
+// WriteMarkdown renders the delta table as GitHub-flavoured markdown.
+func (d *Diff) WriteMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "## packdiff: %s → %s\n\n", d.describe(d.Old, d.OldPath), d.describe(d.New, d.NewPath))
+	if vm := d.VirtualMismatches(); vm == 0 {
+		fmt.Fprintf(w, "- virtual metrics: **exact match** (%d rows)\n", len(d.Rows))
+	} else {
+		fmt.Fprintf(w, "- virtual metrics: **%d of %d rows DRIFTED** — emulator correctness regression\n", vm, len(d.Rows))
+	}
+	fmt.Fprintf(w, "- wall threshold ±%.0f%%, alpha %.2f; flagged regressions: %d\n",
+		d.Opt.Threshold*100, d.Opt.Alpha, d.WallRegressions())
+	if d.EnvDiffers {
+		fmt.Fprintf(w, "- **environments differ** — wall/alloc deltas may reflect the host, not the code\n")
+	}
+	if len(d.OnlyOld) > 0 {
+		fmt.Fprintf(w, "- only in old: %s\n", strings.Join(d.OnlyOld, ", "))
+	}
+	if len(d.OnlyNew) > 0 {
+		fmt.Fprintf(w, "- only in new: %s\n", strings.Join(d.OnlyNew, ", "))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| experiment | wall old (ms) | wall new (ms) | Δ wall | p | allocs old | allocs new | Δ allocs | virtual | notes |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|:--|:--|")
+	for _, r := range d.Rows {
+		var notes []string
+		if r.WallFlagged {
+			if r.WallDelta > 0 {
+				notes = append(notes, "**slower**")
+			} else {
+				notes = append(notes, "faster")
+			}
+		}
+		if r.AllocFlagged {
+			notes = append(notes, "allocs")
+		}
+		notes = append(notes, r.StructureDrift...)
+		fmt.Fprintf(w, "| %s | %.3f | %.3f | %s | %s | %d | %d | %s | %s | %s |\n",
+			r.ID, r.OldWallMS, r.NewWallMS, fmtDelta(r.WallDelta), fmtP(r.P),
+			r.OldAllocs, r.NewAllocs, fmtDelta(r.AllocDelta), r.virtualCell(),
+			strings.Join(notes, ", "))
+	}
+}
+
+// WriteTSV renders the delta table as tab-separated values for
+// spreadsheet or awk consumption.
+func (d *Diff) WriteTSV(w io.Writer) {
+	fmt.Fprintln(w, "experiment\twall_old_ms\twall_new_ms\twall_delta\tp\twall_flagged\tallocs_old\tallocs_new\talloc_delta\tvirtual_old_ms\tvirtual_new_ms\tvirtual_ok\tderived_drift\tstructure_drift")
+	for _, r := range d.Rows {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%s\t%s\t%v\t%d\t%d\t%s\t%v\t%v\t%v\t%s\t%s\n",
+			r.ID, r.OldWallMS, r.NewWallMS, fmtDelta(r.WallDelta), fmtP(r.P), r.WallFlagged,
+			r.OldAllocs, r.NewAllocs, fmtDelta(r.AllocDelta),
+			r.OldVirtualMS, r.NewVirtualMS, r.VirtualOK(),
+			strings.Join(r.DerivedDrift, ","), strings.Join(r.StructureDrift, ","))
+	}
+}
+
+func (d *Diff) describe(r *PerfReport, path string) string {
+	name := path
+	if name == "" {
+		name = "report"
+	}
+	samples := r.Samples
+	if samples == 0 {
+		samples = 1
+	}
+	return fmt.Sprintf("%s (%s, sched=%s, parallel=%d, samples=%d)",
+		name, r.Schema, orDash(r.Sched), r.Parallel, samples)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 
 	"packunpack/internal/comm"
 	"packunpack/internal/dist"
@@ -38,6 +41,13 @@ type Suite struct {
 	// executed experiment point into the directory (packbench
 	// -trace-dir). Tables and virtual times are unaffected.
 	TraceDir string
+	// Samples is how many times the instrumented runner repeats each
+	// experiment's warm-cache replay to collect wall-clock samples
+	// (packbench -samples); 0 or 1 measures once. Repeats never re-run
+	// machines — the prefetch phase executes the grid once — so
+	// sampling changes only the statistical quality of the wall
+	// figures, not any virtual result.
+	Samples int
 	// cache memoizes measurements across experiments: Figure 3 and
 	// Figure 4 report different columns of the same runs, and the
 	// Table I crossover search revisits the SSS baseline repeatedly.
@@ -48,6 +58,15 @@ type Suite struct {
 	collect *runCollector
 	// counters instrument machine executions for the perf report.
 	counters *perfCounters
+	// labelExp is the experiment id the instrumented runner stamps on
+	// the engine's pprof labels (parallel.go), so -cpuprofile samples
+	// attribute to the experiment that spent them. Empty outside
+	// RunInstrumented.
+	labelExp string
+	// labelCtx carries the current stage's pprof labels down to
+	// execute, which layers the per-point labels (scheme, op, procs)
+	// on top (see withStage).
+	labelCtx context.Context
 	// prefetchOnly / replayOnly split an experiment into its two
 	// engine phases for the instrumented runner (report.go): the
 	// prefetch phase discovers and executes the measurement grid (all
@@ -61,6 +80,14 @@ type Suite struct {
 // NewSuite builds a suite with a shared measurement cache.
 func NewSuite(quick bool, seed uint64) Suite {
 	return Suite{Quick: quick, Seed: seed, Sched: sim.SchedCooperative, cache: newRunCache(), counters: &perfCounters{}}
+}
+
+// sampleCount resolves the Samples field: 0 means one sample.
+func (s Suite) sampleCount() int {
+	if s.Samples > 1 {
+		return s.Samples
+	}
+	return 1
 }
 
 // maskSpec names a mask generator for a given array shape.
@@ -496,8 +523,18 @@ func (s Suite) prsKey(pt prsPoint) string {
 
 // prsExecute runs one bare PRS collective and books it like any other
 // machine execution — including the TraceDir dump, so a traced sweep
-// covers the PRS grid too.
-func (s Suite) prsExecute(pt prsPoint) Metrics {
+// covers the PRS grid too. Like execute, the point carries pprof
+// labels identifying it in a -cpuprofile.
+func (s Suite) prsExecute(pt prsPoint) (met Metrics) {
+	labels := pprof.Labels("op", "prs", "algo", fmt.Sprint(pt.algo),
+		"procs", strconv.Itoa(pt.p), "veclen", strconv.Itoa(pt.m))
+	pprof.Do(s.labelCtxOrBackground(), labels, func(context.Context) {
+		met = s.prsExecutePoint(pt)
+	})
+	return met
+}
+
+func (s Suite) prsExecutePoint(pt prsPoint) Metrics {
 	traced := s.TraceDir != ""
 	machine := sim.MustNew(sim.Config{
 		Procs: pt.p, Params: sim.CM5Params(), Sched: s.Sched,
@@ -552,28 +589,36 @@ func (s Suite) PRS() []*Table {
 				todo = append(todo, i)
 			}
 		}
-		s.forEach(len(todo), func(j int) {
-			pt := grid[todo[j]]
-			s.cache.put(s.prsKey(pt), s.prsExecute(pt))
+		s.withStage("prefetch", func(ctx context.Context) {
+			ps := s
+			ps.labelCtx = ctx
+			ps.forEach(len(todo), func(j int) {
+				pt := grid[todo[j]]
+				ps.cache.put(ps.prsKey(pt), ps.prsExecute(pt))
+			})
 		})
 	}
 	if s.prefetchOnly {
 		return nil
 	}
 	vals := make([]float64, len(grid))
-	for i, pt := range grid {
-		met, ok := Metrics{}, false
-		if s.cache != nil {
-			met, ok = s.cache.get(s.prsKey(pt))
-		}
-		if !ok {
-			met = s.prsExecute(pt)
-			if s.cache != nil {
-				s.cache.put(s.prsKey(pt), met)
+	s.withStage("replay", func(ctx context.Context) {
+		rs := s
+		rs.labelCtx = ctx
+		for i, pt := range grid {
+			met, ok := Metrics{}, false
+			if rs.cache != nil {
+				met, ok = rs.cache.get(rs.prsKey(pt))
 			}
+			if !ok {
+				met = rs.prsExecute(pt)
+				if rs.cache != nil {
+					rs.cache.put(rs.prsKey(pt), met)
+				}
+			}
+			vals[i] = met.TotalMS
 		}
-		vals[i] = met.TotalMS
-	}
+	})
 
 	t := &Table{
 		ID:      "prs",

@@ -144,13 +144,14 @@ func TestTraceDirDumpsParse(t *testing.T) {
 	}
 }
 
-// TestPerfReportV3 checks the schema marker and that instrumented runs
-// carry per-experiment derived means: machine executions happen in the
-// prefetch phase, so its perf line gets a derived object while the
-// pure-replay line (zero machine runs) gets none.
-func TestPerfReportV3(t *testing.T) {
-	if PerfSchema != "packbench-perf/v3" {
-		t.Fatalf("PerfSchema = %q; the derived object is a v3 feature", PerfSchema)
+// TestPerfReportDerived checks the schema marker and that instrumented
+// runs carry per-experiment derived means: machine executions happen in
+// the prefetch phase, so its perf line gets a derived object while the
+// pure-replay line (zero machine runs) gets none. (The derived object
+// is a v3 feature; v4 added sampling on top without touching it.)
+func TestPerfReportDerived(t *testing.T) {
+	if PerfSchema != "packbench-perf/v4" {
+		t.Fatalf("PerfSchema = %q, want packbench-perf/v4", PerfSchema)
 	}
 
 	s := NewSuite(true, 1)

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -232,12 +235,63 @@ func (s Suite) prefetch(col *runCollector) {
 	})
 }
 
+// stageLabels returns the pprof label set for one engine stage, so a
+// -cpuprofile attributes samples to the experiment and phase that
+// spent them. The stage is "collect" (grid discovery dry pass),
+// "prefetch" (grid execution across the worker pool), or "replay"
+// (serial table rendering against the warm cache).
+func (s Suite) stageLabels(stage string) pprof.LabelSet {
+	if s.labelExp == "" {
+		return pprof.Labels("stage", stage)
+	}
+	return pprof.Labels("experiment", s.labelExp, "stage", stage)
+}
+
+// withStage runs fn under the stage's pprof labels and hands fn the
+// labelled context. Callers store that context in their Suite copy
+// (labelCtx) so execute can layer the per-point labels on top of the
+// stage labels — pprof.Do builds the goroutine's label map from the
+// context it is given, so labelling from context.Background() would
+// erase the stage labels instead of extending them. Labels are
+// goroutine-scoped and inherited by goroutines spawned inside fn, so
+// wrapping a stage here also labels its forEach worker pool.
+func (s Suite) withStage(stage string, fn func(context.Context)) {
+	pprof.Do(context.Background(), s.stageLabels(stage), fn)
+}
+
+// labelCtxOrBackground returns the suite's stage-labelled context.
+func (s Suite) labelCtxOrBackground() context.Context {
+	if s.labelCtx != nil {
+		return s.labelCtx
+	}
+	return context.Background()
+}
+
+// runLabels identifies one experiment point in a CPU profile.
+func runLabels(r Run) pprof.LabelSet {
+	return pprof.Labels(
+		"scheme", r.Opt.Scheme.String(),
+		"op", r.Mode.String(),
+		"procs", strconv.Itoa(r.Layout.Procs()),
+	)
+}
+
 // execute runs one point and books it in the perf counters. The
 // experiment grid is fixed, so an error is a programming error, not an
 // input error — hence the panic. With a TraceDir configured, the point
 // runs with the observability layer on and its Chrome trace is dumped
 // there (tracedump.go); virtual results are identical either way.
-func (s Suite) execute(r Run) Metrics {
+// The machine execution carries per-point pprof labels (scheme, op,
+// processor count) on top of the stage labels already on the
+// goroutine.
+func (s Suite) execute(r Run) (met Metrics) {
+	pprof.Do(s.labelCtxOrBackground(), runLabels(r), func(context.Context) {
+		met = s.executePoint(r)
+	})
+	return met
+}
+
+func (s Suite) executePoint(r Run) Metrics {
 	if s.TraceDir != "" {
 		m, capture, err := r.ExecuteTrace()
 		if err != nil {
@@ -277,16 +331,32 @@ func (s Suite) parallelize(gen func(Suite) []*Table) []*Table {
 		(s.workerCount() > 1 || s.prefetchOnly) {
 		dry := s
 		dry.collect = &runCollector{seen: make(map[string]bool)}
-		gen(dry) // tables discarded; may over-collect (see beta)
-		s.prefetch(dry.collect)
+		s.withStage("collect", func(ctx context.Context) {
+			dry.labelCtx = ctx
+			gen(dry) // tables discarded; may over-collect (see beta)
+		})
+		s.withStage("prefetch", func(ctx context.Context) {
+			ps := s
+			ps.labelCtx = ctx
+			ps.prefetch(dry.collect)
+		})
 	}
 	if s.prefetchOnly {
 		if serialPrefetch {
 			run := s
 			run.prefetchOnly = false
-			gen(run)
+			s.withStage("prefetch", func(ctx context.Context) {
+				run.labelCtx = ctx
+				gen(run)
+			})
 		}
 		return nil
 	}
-	return gen(s)
+	var tables []*Table
+	s.withStage("replay", func(ctx context.Context) {
+		rs := s
+		rs.labelCtx = ctx
+		tables = gen(rs)
+	})
+	return tables
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"packunpack/internal/sim"
+	"packunpack/internal/stats"
 )
 
 // PerfSchema identifies the JSON layout of PerfReport, so trajectory
@@ -21,7 +24,48 @@ import (
 // comm_share/<phase>, and — when the sweep was traced via -trace-dir —
 // critpath_words/critpath_msgs/critpath_hops. The pre-existing fields
 // are unchanged, so v2 consumers that ignore unknown keys still parse.
-const PerfSchema = "packbench-perf/v3"
+//
+// v4: repeated-sample wall-clock measurement. The replay of each
+// experiment can run N times (packbench -samples); rows then carry the
+// raw per-sample walls ("wall_samples_ms") plus robust aggregates
+// ("wall_stats": median/p10/p90/MAD/min/max), with "wall_ms" now the
+// median so single-number consumers see the robust figure. A top-level
+// "samples" count and an "env" environment fingerprint (go version,
+// OS/arch, CPU count, GOMAXPROCS, sched, parallel) record what the
+// wall figures were measured under. Additionally, "wall_ms" values are
+// no longer truncated to microsecond resolution. Virtual metrics are
+// untouched: "virtual_ms" and "derived" stay exactly reproducible and
+// are compared bit-for-bit by cmd/packdiff. v1–v3 files still parse
+// (absent fields read as zero); v3 consumers that ignore unknown keys
+// still parse v4.
+const PerfSchema = "packbench-perf/v4"
+
+// Environment is the perf report's measurement-environment record: the
+// host fingerprint plus the knobs of this run that move wall-clock
+// numbers without touching virtual ones.
+type Environment struct {
+	sim.Fingerprint
+	Sched    string `json:"sched"`
+	Parallel int    `json:"parallel"`
+	Samples  int    `json:"samples"`
+}
+
+// String renders the environment on one line for table headers, so a
+// pasted table is self-describing.
+func (e Environment) String() string {
+	return fmt.Sprintf("%s; sched=%s parallel=%d samples=%d",
+		e.Fingerprint, e.Sched, e.Parallel, e.Samples)
+}
+
+// Environment captures the suite's measurement environment.
+func (s Suite) Environment() Environment {
+	return Environment{
+		Fingerprint: sim.HostFingerprint(),
+		Sched:       s.Sched.String(),
+		Parallel:    s.workerCount(),
+		Samples:     s.sampleCount(),
+	}
+}
 
 // PerfReport is the host-performance baseline packbench -json writes:
 // one entry per requested experiment plus a summed total. Virtual
@@ -36,8 +80,22 @@ type PerfReport struct {
 	Sched       string           `json:"sched"`
 	Quick       bool             `json:"quick"`
 	Seed        uint64           `json:"seed"`
+	Samples     int              `json:"samples,omitempty"`
+	Env         *Environment     `json:"env,omitempty"`
 	Experiments []ExperimentPerf `json:"experiments"`
 	Total       ExperimentPerf   `json:"total"`
+}
+
+// WallStats holds the robust aggregates of a row's repeated wall-clock
+// samples (schema v4). All figures are milliseconds except Samples.
+type WallStats struct {
+	Samples  int     `json:"samples"`
+	MedianMS float64 `json:"median_ms"`
+	P10MS    float64 `json:"p10_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	MADMS    float64 `json:"mad_ms"`
+	MinMS    float64 `json:"min_ms"`
+	MaxMS    float64 `json:"max_ms"`
 }
 
 // ExperimentPerf is the host-side cost of one generation phase: the
@@ -52,13 +110,24 @@ type ExperimentPerf struct {
 	// Tables and Rows count the rendered output (replay lines only).
 	Tables int `json:"tables"`
 	Rows   int `json:"rows"`
-	// WallMS is host wall-clock time.
+	// WallMS is host wall-clock time: the median over the row's samples
+	// (schema v4; with one sample it is that sample).
 	WallMS float64 `json:"wall_ms"`
+	// WallSamplesMS are the raw per-sample wall times in measurement
+	// order; cmd/packdiff feeds them to the Mann–Whitney significance
+	// test. Only the replay phase is re-sampled — prefetch rows carry a
+	// single sample (re-running the prefetch would hit the warm cache
+	// and measure nothing).
+	WallSamplesMS []float64 `json:"wall_samples_ms,omitempty"`
+	// WallStats are the robust aggregates over WallSamplesMS.
+	WallStats *WallStats `json:"wall_stats,omitempty"`
 	// Allocs / AllocBytes are the heap allocation count and volume
 	// (runtime.MemStats.Mallocs/TotalAlloc deltas around this phase
 	// only). Because machine executions are confined to the prefetch
 	// phase, the per-experiment replay figures no longer absorb
 	// concurrent prefetch workers' allocations and match a serial run.
+	// With repeated samples these (and the counters below) come from
+	// the first sample, so they stay comparable to single-sample runs.
 	Allocs     uint64 `json:"allocs"`
 	AllocBytes uint64 `json:"alloc_bytes"`
 	// MachineRuns counts emulated machine executions; CacheHits counts
@@ -73,6 +142,31 @@ type ExperimentPerf struct {
 	// machines (replay lines answer everything from the cache). Schema
 	// v3 addition.
 	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// wallMS converts a duration to milliseconds at full resolution.
+// (The previous float64(wall.Microseconds())/1000 truncated to whole
+// microseconds, quantizing sub-microsecond replay times to zero.)
+func wallMS(wall time.Duration) float64 {
+	return float64(wall) / float64(time.Millisecond)
+}
+
+// sealSamples finalizes a row's repeated-sample fields: the raw
+// samples, their robust aggregates, and the median as the row's
+// headline WallMS.
+func (p *ExperimentPerf) sealSamples(samples []float64) {
+	sum := stats.Summarize(samples)
+	p.WallSamplesMS = samples
+	p.WallStats = &WallStats{
+		Samples:  sum.N,
+		MedianMS: sum.Median,
+		P10MS:    sum.P10,
+		P90MS:    sum.P90,
+		MADMS:    sum.MAD,
+		MinMS:    sum.Min,
+		MaxMS:    sum.Max,
+	}
+	p.WallMS = sum.Median
 }
 
 // instrument measures the host-side cost of running fn.
@@ -92,7 +186,7 @@ func (s Suite) instrument(id string, fn func() []*Table) ([]*Table, ExperimentPe
 	perf := ExperimentPerf{
 		ID:          id,
 		Tables:      len(tables),
-		WallMS:      float64(wall.Microseconds()) / 1000,
+		WallMS:      wallMS(wall),
 		Allocs:      msAfter.Mallocs - msBefore.Mallocs,
 		AllocBytes:  msAfter.TotalAlloc - msBefore.TotalAlloc,
 		MachineRuns: after.MachineRuns - before.MachineRuns,
@@ -120,6 +214,13 @@ func (s Suite) instrument(id string, fn func() []*Table) ([]*Table, ExperimentPe
 // per-experiment rows -parallel-invariant: previously the whole
 // generation was measured at once, so prefetch workers' allocations
 // bled into per-experiment figures and disagreed with a serial run.
+//
+// With Suite.Samples > 1 the replay phase runs that many times and the
+// row reports the robust aggregates over the per-sample walls; the
+// replay is deterministic warm-cache work, so repeating it measures
+// host noise, not new virtual results (machine runs all happen in the
+// prefetch phase, which is measured once). Tables, allocation figures,
+// and counters come from the first sample.
 func (s Suite) RunInstrumented(id string) ([]*Table, []ExperimentPerf, error) {
 	if _, ok := s.Registry()[id]; !ok {
 		return nil, nil, fmt.Errorf("bench: unknown experiment %q", id)
@@ -127,18 +228,35 @@ func (s Suite) RunInstrumented(id string) ([]*Table, []ExperimentPerf, error) {
 
 	pre := s
 	pre.prefetchOnly = true
+	pre.labelExp = id
 	_, prePerf := s.instrument(id+"/prefetch", pre.Registry()[id])
+	prePerf.sealSamples([]float64{prePerf.WallMS})
 
 	rep := s
 	rep.replayOnly = true
-	tables, perf := s.instrument(id, rep.Registry()[id])
+	rep.labelExp = id
+	var (
+		tables  []*Table
+		perf    ExperimentPerf
+		samples = make([]float64, 0, s.sampleCount())
+	)
+	for k := 0; k < s.sampleCount(); k++ {
+		t, p := s.instrument(id, rep.Registry()[id])
+		if k == 0 {
+			tables, perf = t, p
+		}
+		samples = append(samples, p.WallMS)
+	}
+	perf.sealSamples(samples)
 
 	return tables, []ExperimentPerf{prePerf, perf}, nil
 }
 
 // SumPerf folds per-phase figures into the report's total line.
 // Derived metrics are per-run means, so the total carries their
-// run-weighted mean rather than a plain sum.
+// run-weighted mean rather than a plain sum. The total's WallMS sums
+// the rows' medians; it carries no sample fields of its own (the rows
+// are the unit of statistical comparison).
 func SumPerf(perfs []ExperimentPerf) ExperimentPerf {
 	total := ExperimentPerf{ID: "all"}
 	derivedSum := make(map[string]float64)

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestWallMSResolution pins the satellite fix: wall times must keep
+// sub-microsecond resolution. The old formula
+// float64(wall.Microseconds())/1000 truncated 1.5µs to 0.001ms (and
+// anything under 1µs to zero).
+func TestWallMSResolution(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want float64
+	}{
+		{1500 * time.Nanosecond, 0.0015},
+		{999 * time.Nanosecond, 0.000999},
+		{123456789 * time.Nanosecond, 123.456789},
+		{time.Millisecond, 1},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := wallMS(c.d); got != c.want {
+			t.Errorf("wallMS(%v) = %v, want %v", c.d, got, c.want)
+		}
+		if trunc := float64(c.d.Microseconds()) / 1000; c.d == 1500*time.Nanosecond && trunc == c.want {
+			t.Errorf("old truncating formula unexpectedly exact for %v", c.d)
+		}
+	}
+}
+
+func TestSealSamples(t *testing.T) {
+	p := ExperimentPerf{ID: "x", WallMS: 99}
+	p.sealSamples([]float64{3, 1, 2, 5, 4})
+	if p.WallMS != 3 {
+		t.Errorf("WallMS = %v, want median 3", p.WallMS)
+	}
+	if p.WallStats == nil || p.WallStats.Samples != 5 || p.WallStats.MedianMS != 3 ||
+		p.WallStats.MinMS != 1 || p.WallStats.MaxMS != 5 || p.WallStats.MADMS != 1 {
+		t.Errorf("WallStats = %+v", p.WallStats)
+	}
+	if len(p.WallSamplesMS) != 5 || p.WallSamplesMS[0] != 3 {
+		t.Errorf("samples not preserved in order: %v", p.WallSamplesMS)
+	}
+}
+
+// TestRunInstrumentedSamples checks the repeated-sample contract: N
+// replay samples on the experiment row, one on the prefetch row,
+// headline wall = median, and no extra machine runs from sampling.
+func TestRunInstrumentedSamples(t *testing.T) {
+	s := NewSuite(true, 1)
+	s.Workers = 1
+	s.Samples = 3
+	tables, perfs, err := s.RunInstrumented("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perfs) != 2 {
+		t.Fatalf("want prefetch+replay rows, got %d", len(perfs))
+	}
+	pre, rep := perfs[0], perfs[1]
+	if pre.ID != "fig3/prefetch" || rep.ID != "fig3" {
+		t.Fatalf("row ids: %q, %q", pre.ID, rep.ID)
+	}
+	if got := len(rep.WallSamplesMS); got != 3 {
+		t.Fatalf("replay samples = %d, want 3", got)
+	}
+	if rep.WallStats == nil || rep.WallStats.Samples != 3 {
+		t.Fatalf("replay WallStats = %+v", rep.WallStats)
+	}
+	if len(pre.WallSamplesMS) != 1 || pre.WallStats.Samples != 1 {
+		t.Fatalf("prefetch must carry exactly one sample: %+v", pre.WallStats)
+	}
+	if rep.MachineRuns != 0 {
+		t.Fatalf("replay ran %d machines; sampling must stay warm-cache only", rep.MachineRuns)
+	}
+	if pre.MachineRuns == 0 {
+		t.Fatal("prefetch ran no machines")
+	}
+	if rep.WallMS != rep.WallStats.MedianMS {
+		t.Fatalf("headline wall %v != median %v", rep.WallMS, rep.WallStats.MedianMS)
+	}
+
+	// Sampling must not change the rendered tables: compare against a
+	// single-sample suite.
+	s2 := NewSuite(true, 1)
+	s2.Workers = 1
+	tables2, _, err := s2.RunInstrumented("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	RenderAll(&got, tables)
+	RenderAll(&want, tables2)
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("sampled run rendered different tables than single-sample run")
+	}
+}
+
+func TestSumPerfWallSumsMedians(t *testing.T) {
+	a := ExperimentPerf{ID: "a"}
+	a.sealSamples([]float64{1, 10, 2}) // median 2
+	b := ExperimentPerf{ID: "b"}
+	b.sealSamples([]float64{5}) // median 5
+	total := SumPerf([]ExperimentPerf{a, b})
+	if total.WallMS != 7 {
+		t.Fatalf("total wall = %v, want 7", total.WallMS)
+	}
+	if total.WallStats != nil || total.WallSamplesMS != nil {
+		t.Fatal("total must not carry sample fields")
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Fingerprint identifies the host environment a measurement ran under.
+// Virtual times are host-independent, but the wall-clock and
+// allocation figures in a perf report are only comparable between runs
+// on like environments — the fingerprint is what lets tooling (and
+// humans reading a pasted table) decide whether two reports are
+// comparable at all.
+type Fingerprint struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// HostFingerprint captures the current process's environment.
+func HostFingerprint() Fingerprint {
+	return Fingerprint{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// String renders the fingerprint on one line, for table headers.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%s %s/%s, %d CPUs, GOMAXPROCS=%d",
+		f.GoVersion, f.GOOS, f.GOARCH, f.NumCPU, f.GOMAXPROCS)
+}

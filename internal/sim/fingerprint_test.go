@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestHostFingerprint(t *testing.T) {
+	f := HostFingerprint()
+	if f.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", f.GoVersion, runtime.Version())
+	}
+	if f.GOOS != runtime.GOOS || f.GOARCH != runtime.GOARCH {
+		t.Errorf("GOOS/GOARCH = %q/%q", f.GOOS, f.GOARCH)
+	}
+	if f.NumCPU < 1 || f.GOMAXPROCS < 1 {
+		t.Errorf("NumCPU/GOMAXPROCS = %d/%d", f.NumCPU, f.GOMAXPROCS)
+	}
+	s := f.String()
+	for _, want := range []string{f.GoVersion, f.GOOS + "/" + f.GOARCH, "GOMAXPROCS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

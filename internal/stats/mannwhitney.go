@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// TestResult is the outcome of a two-sided Mann–Whitney U test.
+type TestResult struct {
+	// U is the Mann–Whitney statistic of the first sample (fractional
+	// when ties forced average ranks).
+	U float64
+	// P is the two-sided p-value: the probability of a U at least this
+	// extreme if both samples came from the same distribution. Small P
+	// means the difference is unlikely to be noise.
+	P float64
+	// Exact reports whether P came from the exact permutation
+	// distribution (small tie-free samples) rather than the normal
+	// approximation.
+	Exact bool
+}
+
+// maxExactProduct bounds the n*m size of the exact-distribution DP;
+// beyond it the normal approximation is both accurate and cheap.
+const maxExactProduct = 400
+
+// MannWhitneyU runs the two-sided Mann–Whitney U test on two
+// independent samples. For small tie-free samples (len(a)*len(b) <=
+// 400) it uses the exact permutation distribution, like benchstat; with
+// ties or larger samples it falls back to the normal approximation
+// with tie correction and continuity correction.
+//
+// Degenerate inputs are conservatively non-significant: an empty
+// sample, or two samples whose pooled values are all identical, yield
+// P = 1.
+func MannWhitneyU(a, b []float64) TestResult {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return TestResult{P: 1}
+	}
+
+	ranks, tieCorr, tied := rankAll(a, b)
+	var ra float64 // rank sum of sample a
+	for i := 0; i < n; i++ {
+		ra += ranks[i]
+	}
+	u := ra - float64(n*(n+1))/2
+
+	if !tied && n*m <= maxExactProduct {
+		return TestResult{U: u, P: exactP(n, m, u), Exact: true}
+	}
+
+	mu := float64(n*m) / 2
+	nf, mf, tot := float64(n), float64(m), float64(n+m)
+	sigma2 := nf * mf / 12 * ((tot + 1) - tieCorr/(tot*(tot-1)))
+	if sigma2 <= 0 {
+		// Every pooled value tied: no ordering information at all.
+		return TestResult{U: u, P: 1}
+	}
+	// Continuity correction: shrink the deviation by 1/2 toward the
+	// mean (never past it).
+	dev := math.Abs(u - mu)
+	if dev > 0.5 {
+		dev -= 0.5
+	} else {
+		dev = 0
+	}
+	z := dev / math.Sqrt(sigma2)
+	p := math.Erfc(z / math.Sqrt2)
+	if p > 1 {
+		p = 1
+	}
+	return TestResult{U: u, P: p}
+}
+
+// rankAll assigns pooled average ranks to a then b, returning the
+// per-value ranks (a's first), the tie-correction term sum(t^3-t), and
+// whether any tie occurred.
+func rankAll(a, b []float64) (ranks []float64, tieCorr float64, tied bool) {
+	n, m := len(a), len(b)
+	type idxVal struct {
+		v   float64
+		pos int
+	}
+	all := make([]idxVal, 0, n+m)
+	for i, v := range a {
+		all = append(all, idxVal{v, i})
+	}
+	for i, v := range b {
+		all = append(all, idxVal{v, n + i})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	ranks = make([]float64, n+m)
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		// Positions i..j-1 share the average of ranks i+1..j.
+		avg := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			ranks[all[k].pos] = avg
+		}
+		if t := float64(j - i); t > 1 {
+			tied = true
+			tieCorr += t*t*t - t
+		}
+		i = j
+	}
+	return ranks, tieCorr, tied
+}
+
+// exactP returns the exact two-sided p-value of an observed tie-free U
+// with sample sizes n and m, by dynamic programming over the
+// distribution of rank subsets: count(i, j, u) arrangements of i
+// sample-a values among i+j values produce statistic u, via the
+// classic recurrence count(i,j,u) = count(i-1,j,u-j) + count(i,j-1,u).
+func exactP(n, m int, uObs float64) float64 {
+	nm := n * m
+	// The distribution is symmetric about nm/2; fold the observed U to
+	// the lower tail.
+	lo := uObs
+	if other := float64(nm) - uObs; other < lo {
+		lo = other
+	}
+	counts := make([][]float64, n+1)
+	for i := range counts {
+		counts[i] = make([]float64, nm+1)
+	}
+	for i := 0; i <= n; i++ {
+		counts[i][0] = 1 // j = 0: only u = 0
+	}
+	for j := 1; j <= m; j++ {
+		next := make([][]float64, n+1)
+		for i := range next {
+			next[i] = make([]float64, nm+1)
+		}
+		next[0][0] = 1
+		for i := 1; i <= n; i++ {
+			for u := 0; u <= i*j; u++ {
+				v := counts[i][u] // count(i, j-1, u)
+				if u >= j {
+					v += next[i-1][u-j] // count(i-1, j, u-j)
+				}
+				next[i][u] = v
+			}
+		}
+		counts = next
+	}
+	var total, tail float64
+	for u, c := range counts[n] {
+		total += c
+		if float64(u) <= lo {
+			tail += c
+		}
+	}
+	p := 2 * tail / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

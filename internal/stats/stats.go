@@ -1,0 +1,102 @@
+// Package stats implements the small statistical toolkit the perf
+// pipeline needs: robust aggregates (median, quantiles, MAD) over
+// repeated wall-clock samples, and a Mann–Whitney U significance test
+// for deciding whether two sample sets plausibly come from the same
+// distribution (benchstat-style, suited to the small sample counts a
+// perf sweep can afford).
+//
+// Virtual times never come through here — they are exact replays of
+// the cost model and are compared bit-for-bit (see cmd/packdiff). This
+// package exists for the host-side wall-clock and allocation figures,
+// which are genuinely noisy.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary is the robust description of one metric's repeated samples.
+// Median/P10/P90 describe the distribution's location and spread
+// without assuming normality; MAD (median absolute deviation) is the
+// robust analogue of the standard deviation.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P10    float64
+	P90    float64
+	// MAD is the raw median absolute deviation from the median (not
+	// scaled by 1.4826; consumers that want a sigma-comparable figure
+	// apply the normal-consistency constant themselves).
+	MAD float64
+}
+
+// Summarize computes the Summary of xs. It copies the input (callers
+// keep their sample order) and returns the zero Summary for an empty
+// slice.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	s := Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   sum / float64(len(sorted)),
+		Median: quantileSorted(sorted, 0.5),
+		P10:    quantileSorted(sorted, 0.10),
+		P90:    quantileSorted(sorted, 0.90),
+	}
+	dev := make([]float64, len(sorted))
+	for i, v := range sorted {
+		dev[i] = math.Abs(v - s.Median)
+	}
+	sort.Float64s(dev)
+	s.MAD = quantileSorted(dev, 0.5)
+	return s
+}
+
+// Median returns the median of xs (0 for an empty slice).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-quantile of xs (q in [0,1]) with linear
+// interpolation between order statistics (the "R-7" rule spreadsheet
+// users expect). It copies and sorts the input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile on an already-sorted slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -19,46 +19,53 @@ import (
 	"strings"
 )
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "jsoncheck: "+format+"\n", args...)
-	os.Exit(1)
-}
-
 func main() {
 	if len(os.Args) < 2 {
-		fail("usage: jsoncheck FILE [key | key=value]...")
+		fmt.Fprintln(os.Stderr, "jsoncheck: usage: jsoncheck FILE [key | key=value]...")
+		os.Exit(1)
 	}
-	path := os.Args[1]
+	if err := check(os.Args[1], os.Args[2:]); err != nil {
+		fmt.Fprintf(os.Stderr, "jsoncheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("jsoncheck: %s ok (%d assertions)\n", os.Args[1], len(os.Args)-2)
+}
+
+// check validates that path parses as a JSON object and satisfies
+// every assertion ("key" = non-empty top-level key, "key=value" =
+// exact string match). Factored out of main so the backward-compat
+// tests can drive the same code paths CI does.
+func check(path string, asserts []string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	var doc map[string]json.RawMessage
 	if err := json.Unmarshal(data, &doc); err != nil {
-		fail("%s does not parse as a JSON object: %v", path, err)
+		return fmt.Errorf("%s does not parse as a JSON object: %v", path, err)
 	}
 
-	for _, assert := range os.Args[2:] {
+	for _, assert := range asserts {
 		key, want, exact := assert, "", false
 		if i := strings.IndexByte(assert, '='); i >= 0 {
 			key, want, exact = assert[:i], assert[i+1:], true
 		}
 		raw, ok := doc[key]
 		if !ok {
-			fail("%s: missing top-level key %q", path, key)
+			return fmt.Errorf("%s: missing top-level key %q", path, key)
 		}
 		if exact {
 			var got string
 			if err := json.Unmarshal(raw, &got); err != nil {
-				fail("%s: key %q is not a string: %v", path, key, err)
+				return fmt.Errorf("%s: key %q is not a string: %v", path, key, err)
 			}
 			if got != want {
-				fail("%s: key %q = %q, want %q", path, key, got, want)
+				return fmt.Errorf("%s: key %q = %q, want %q", path, key, got, want)
 			}
 		} else if len(raw) == 0 || string(raw) == "null" || string(raw) == "[]" ||
 			string(raw) == "{}" || string(raw) == `""` {
-			fail("%s: top-level key %q is empty", path, key)
+			return fmt.Errorf("%s: top-level key %q is empty", path, key)
 		}
 	}
-	fmt.Printf("jsoncheck: %s ok (%d assertions)\n", path, len(os.Args)-2)
+	return nil
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedBaselinesStillParse drives the same checks CI runs over
+// the committed perf baselines: every historical schema version must
+// keep parsing, because cmd/packdiff and the trajectory tooling read
+// them blind.
+func TestCommittedBaselinesStillParse(t *testing.T) {
+	cases := []struct {
+		file   string
+		schema string
+	}{
+		{"BENCH_pr1.json", "packbench-perf/v1"},
+		{"BENCH_pr2.json", "packbench-perf/v2"},
+		{"BENCH_pr3.json", "packbench-perf/v3"},
+	}
+	for _, tc := range cases {
+		path := filepath.Join("..", "..", "..", tc.file)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("committed baseline missing: %v", err)
+		}
+		if err := check(path, []string{"schema=" + tc.schema, "experiments", "total"}); err != nil {
+			t.Errorf("%s: %v", tc.file, err)
+		}
+	}
+}
+
+func TestCheckAssertions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+	body := `{"schema":"packbench-perf/v4","experiments":[1],"empty":[],"n":3}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := check(path, nil); err != nil {
+		t.Errorf("no assertions: %v", err)
+	}
+	if err := check(path, []string{"schema=packbench-perf/v4", "experiments"}); err != nil {
+		t.Errorf("valid assertions: %v", err)
+	}
+	if err := check(path, []string{"schema=packbench-perf/v1"}); err == nil {
+		t.Error("wrong schema value: want error")
+	}
+	if err := check(path, []string{"missing"}); err == nil {
+		t.Error("missing key: want error")
+	}
+	if err := check(path, []string{"empty"}); err == nil {
+		t.Error("empty array key: want error")
+	}
+	if err := check(path, []string{"n=3"}); err == nil {
+		t.Error("key=value on non-string: want error")
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("[1,2,3]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(bad, nil); err == nil {
+		t.Error("non-object document: want error")
+	}
+	if err := check(filepath.Join(dir, "absent.json"), nil); err == nil {
+		t.Error("absent file: want error")
+	}
+}
