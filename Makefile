@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate ci
+.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate fuzz-short fault-race ci
 
 all: build
 
@@ -61,12 +61,29 @@ validate-perf:
 # only between serial runs (worker completion order perturbs float
 # accumulation; see DESIGN.md §10). -samples 5 gives each row robust
 # wall statistics.
-PERFGATE_BASELINE ?= BENCH_pr3.json
+PERFGATE_BASELINE ?= BENCH_pr5.json
 PERFGATE_OUT      ?= /tmp/packbench-perfgate.json
 PERFGATE_DELTA    ?= /tmp/packdiff-delta.md
 perfgate:
 	$(GO) run ./cmd/packbench -exp all -quick -seed 1 -parallel 1 -sched coop \
 		-samples 5 -json $(PERFGATE_OUT) >/dev/null
 	$(GO) run ./cmd/packdiff -o $(PERFGATE_DELTA) $(PERFGATE_BASELINE) $(PERFGATE_OUT)
+
+# fuzz-short gives each native fuzz target a brief budget of fresh
+# coverage-guided inputs on top of the checked-in seed corpus. `go test
+# -fuzz` accepts one target per package invocation, hence one line per
+# target. New crashers land under testdata/fuzz/<Target>/ — commit them
+# as regression seeds.
+FUZZTIME ?= 30s
+fuzz-short:
+	$(GO) test ./internal/comm -run '^$$' -fuzz '^FuzzPrefixReductionSum$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dist -run '^$$' -fuzz '^FuzzDimRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dist -run '^$$' -fuzz '^FuzzVectorDist$$' -fuzztime $(FUZZTIME)
+
+# fault-race runs the fault-injection and property-differential suites
+# under the race detector. `make race` already covers them; this target
+# exists to re-run just the fault surface quickly while iterating.
+fault-race:
+	$(GO) test -race -run 'Fault|Property' ./...
 
 ci: vet staticcheck build race smoke smoke-trace validate-perf perfgate

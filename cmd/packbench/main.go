@@ -10,6 +10,8 @@
 //	packbench -sched goroutine    # concurrent emulator mode (default: coop)
 //	packbench -json perf.json     # also write a host-performance report
 //	packbench -samples 5          # repeat each replay 5x for robust wall stats
+//	packbench -exp faults -quick  # fault-injection robustness sweep (hidden from 'all')
+//	packbench -faults 42:drop=0.01,dup=0.005  # inject faults into any experiment's machines
 //	packbench -list               # show the available experiment ids
 //
 // All reported times are virtual machine times under the two-level
@@ -26,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -46,6 +49,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (samples carry experiment/stage/scheme labels)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	samples := flag.Int("samples", 1, "wall-clock samples per experiment: repeat each warm-cache replay this many times and report median/p10/p90/MAD")
+	faultsFlag := flag.String("faults", "", "run every measured machine under a deterministic fault-injection plan, 'seed[:name=value,...]' (names: drop,dup,reorder,delay,stall,delaymax,stallmax,timeout,retries), e.g. '42:drop=0.01,dup=0.005'")
 	flag.Parse()
 
 	if *samples < 1 {
@@ -63,6 +67,14 @@ func main() {
 	suite.Workers = *parallel
 	suite.Sched = sched
 	suite.Samples = *samples
+	if *faultsFlag != "" {
+		f, err := sim.ParseFaults(*faultsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(2)
+		}
+		suite.Faults = f
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
@@ -73,8 +85,22 @@ func main() {
 
 	if *list {
 		fmt.Println("available experiments:")
+		canonical := make(map[string]bool)
 		for _, id := range suite.ExperimentIDs() {
+			canonical[id] = true
 			fmt.Printf("  %s\n", id)
+		}
+		// Hidden experiments run by explicit id only and never join
+		// "-exp all" or the perf baselines.
+		var hidden []string
+		for id := range suite.Registry() {
+			if !canonical[id] {
+				hidden = append(hidden, id)
+			}
+		}
+		sort.Strings(hidden)
+		for _, id := range hidden {
+			fmt.Printf("  %s (hidden: excluded from 'all')\n", id)
 		}
 		return
 	}

@@ -120,8 +120,21 @@ func TestQuickSuiteProducesAllArtifacts(t *testing.T) {
 	s := NewSuite(true, 1)
 	reg := s.Registry()
 	ids := s.ExperimentIDs()
-	if len(ids) != len(reg) {
-		t.Fatalf("id list and registry out of sync")
+	// The canonical id list excludes hidden experiments (run by
+	// explicit id only), but every hidden id must still resolve.
+	if len(ids)+len(hiddenExperiments) != len(reg) {
+		t.Fatalf("id list (%d) + hidden (%d) and registry (%d) out of sync",
+			len(ids), len(hiddenExperiments), len(reg))
+	}
+	for _, id := range ids {
+		if hiddenExperiments[id] {
+			t.Fatalf("hidden experiment %s leaked into the canonical id list", id)
+		}
+	}
+	for id := range hiddenExperiments {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("hidden experiment %s missing from registry", id)
+		}
 	}
 	for _, id := range []string{"fig3", "fig4", "fig5", "table1", "table2", "scale", "prs", "ablate", "model"} {
 		if _, ok := reg[id]; !ok {

@@ -36,6 +36,11 @@ type Suite struct {
 	// so within-machine goroutine concurrency only oversubscribes the
 	// host (DESIGN.md §8). Either mode produces identical tables.
 	Sched sim.Sched
+	// Faults, when non-nil, installs this fault-injection plan on every
+	// measured machine that does not carry its own (packbench -faults).
+	// The canonical experiments stay fault-free unless the caller asks;
+	// the "faults" sweep sets per-run plans regardless.
+	Faults *sim.FaultConfig
 	// TraceDir, when non-empty, runs every measured machine with the
 	// observability layer on and dumps one Chrome trace-event file per
 	// executed experiment point into the directory (packbench
@@ -193,6 +198,9 @@ func (s Suite) packArrays() []arraySpec {
 // and a zero Metrics is returned (the dry pass's tables are discarded).
 func (s Suite) measure(r Run) Metrics {
 	r.Sched = s.Sched // experiments leave the mode to the suite
+	if r.Faults == nil {
+		r.Faults = s.Faults
+	}
 	key := runKey(r)
 	if s.collect != nil {
 		s.collect.add(key, r)
@@ -654,15 +662,25 @@ func (s Suite) Registry() map[string]func() []*Table {
 		"prs":    s.PRS,
 		"ablate": s.Ablations,
 		"model":  s.Model,
+		"faults": s.FaultSweep,
 	}
 }
 
-// ExperimentIDs returns the registry keys in stable order.
+// hiddenExperiments are registered but excluded from ExperimentIDs (and
+// hence from "-exp all" and the perf-regression baseline): they are not
+// paper artifacts, and keeping them out preserves the bit-for-bit
+// stability of the canonical BENCH reports. They run by explicit id
+// (packbench -exp faults).
+var hiddenExperiments = map[string]bool{"faults": true}
+
+// ExperimentIDs returns the canonical registry keys in stable order.
 func (s Suite) ExperimentIDs() []string {
 	reg := s.Registry()
 	ids := make([]string, 0, len(reg))
 	for id := range reg {
-		ids = append(ids, id)
+		if !hiddenExperiments[id] {
+			ids = append(ids, id)
+		}
 	}
 	sort.Strings(ids)
 	return ids

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/pack"
+	"packunpack/internal/sim"
+)
+
+// faultLevel is one row group of the fault-sweep ablation.
+type faultLevel struct {
+	name string
+	cfg  *sim.FaultConfig // nil = exact fault-free machine
+}
+
+// faultLevels are the sweep's injection intensities. The seeds are
+// fixed so the table is deterministic; the rates roughly quadruple per
+// step.
+func faultLevels() []faultLevel {
+	return []faultLevel{
+		{"off", nil},
+		{"low", &sim.FaultConfig{Seed: 1001, Drop: 0.01, Dup: 0.01, Reorder: 0.02, Delay: 0.02, Stall: 0.005}},
+		{"med", &sim.FaultConfig{Seed: 1002, Drop: 0.04, Dup: 0.04, Reorder: 0.08, Delay: 0.08, Stall: 0.02}},
+		{"high", &sim.FaultConfig{Seed: 1003, Drop: 0.15, Dup: 0.15, Reorder: 0.25, Delay: 0.25, Stall: 0.05}},
+	}
+}
+
+// FaultSweep is the fault-injection ablation (packbench -exp faults):
+// PACK under increasing fault intensity, per scheme, with the virtual
+// slowdown and the injection/recovery counters. It is a robustness
+// experiment, not a paper artifact, so it is registered as a hidden
+// experiment and never contributes to the canonical BENCH reports.
+func (s Suite) FaultSweep() []*Table { return s.parallelize(Suite.faultSweep) }
+
+func (s Suite) faultSweep() []*Table {
+	n := 32768
+	if s.Quick {
+		n = 4096
+	}
+	const procs = 8
+	layout := dist.MustLayout(dist.Dim{N: n, P: procs, W: n / procs})
+	gen := mask.NewRandom(0.5, s.Seed+777, n)
+
+	t := &Table{
+		ID:      "faults",
+		Title:   fmt.Sprintf("PACK under fault injection (1-D N=%d, P=%d, 50%% mask)", n, procs),
+		Columns: []string{"faults", "scheme", "total ms", "m2m ms", "injected", "retried", "deduped", "residual"},
+		Notes: []string{
+			"reliable transport: sequence-numbered sends, timeout/retry, receiver dedup",
+			"results stay byte-identical to the fault-free run at every level (fault suite)",
+			"virtual times grow with the retry/stall overhead; 'off' is the exact fault-free machine",
+		},
+	}
+	for _, lvl := range faultLevels() {
+		for _, scheme := range packSchemes {
+			met := s.measure(Run{
+				Layout: layout, Gen: gen,
+				Opt:    pack.Options{Scheme: scheme},
+				Mode:   ModePack,
+				Faults: lvl.cfg,
+			})
+			var injected, retried, deduped, residual int64
+			if met.FaultStats != nil {
+				injected = met.FaultStats.Injected()
+				retried = met.FaultStats.Retries
+				deduped = met.FaultStats.Dedups
+				residual = met.FaultStats.Residual
+			}
+			t.AddRow(lvl.name, scheme.String(), ms(met.TotalMS), ms(met.M2MMS),
+				fmt.Sprint(injected), fmt.Sprint(retried), fmt.Sprint(deduped), fmt.Sprint(residual))
+		}
+	}
+	return []*Table{t}
+}

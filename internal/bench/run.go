@@ -83,6 +83,10 @@ type Metrics struct {
 	Words int64
 	// Msgs is the total number of messages sent.
 	Msgs int64
+	// FaultStats aggregates the machine's fault-injection and recovery
+	// counters over all processors; nil when the run had no fault plan
+	// (so fault-free reports keep their exact shape).
+	FaultStats *sim.FaultCounters `json:"FaultStats,omitempty"`
 	// Derived holds the registry metrics (metrics.go) computed for this
 	// run: load imbalance, idle fraction, per-phase comm shares, and —
 	// for traced runs — critical-path figures. Treated as read-only
@@ -114,6 +118,10 @@ func metricsFrom(m *sim.Machine) Metrics {
 		out.Words += s.WordsSent
 		out.Msgs += s.MsgsSent
 	}
+	if rep := m.FaultReport(); rep != nil {
+		total := rep.Total
+		out.FaultStats = &total
+	}
 	out.Derived = ComputeDerived(Snapshot{Stats: stats})
 	return out
 }
@@ -135,6 +143,11 @@ type Run struct {
 	// SelfSendFree shortcuts self messages to zero cost (ablation of
 	// the paper's policy of routing them through the network).
 	SelfSendFree bool
+	// Faults installs a deterministic fault-injection plan on the
+	// measured machine (sim.Config.Faults); the operation then runs
+	// over the reliable transport and Metrics.FaultStats reports the
+	// injection activity. Nil measures the exact fault-free machine.
+	Faults *sim.FaultConfig
 	// Trace enables the emulator's observability layer for this run
 	// (sim.Config.Record + Trace): ExecuteTrace then returns the
 	// capture, and the critical-path metrics join Metrics.Derived.
@@ -204,7 +217,7 @@ func (r Run) exec() (Metrics, *trace.Capture, error) {
 	}
 	machine, err := sim.New(sim.Config{
 		Procs: r.Layout.Procs(), Params: params, SelfSendFree: r.SelfSendFree, Sched: r.Sched,
-		Record: r.Trace, Trace: r.Trace,
+		Record: r.Trace, Trace: r.Trace, Faults: r.Faults,
 	})
 	if err != nil {
 		return Metrics{}, nil, err

@@ -79,6 +79,9 @@ func AlltoallVW[T any](g Group, send [][]T, words []int, opt A2AOptions) [][]T {
 		}
 	}
 
+	// The SkipEmpty probes ride SendFree, the zero-cost out-of-band
+	// modelling channel, which the fault layer never injects into —
+	// only the data messages go through the reliable transport.
 	if opt.Naive {
 		for i := 0; i < n; i++ {
 			if opt.SkipEmpty {
@@ -87,7 +90,7 @@ func AlltoallVW[T any](g Group, send [][]T, words []int, opt A2AOptions) [][]T {
 					continue
 				}
 			}
-			g.p.Send(g.ranks[i], tagA2A, send[i], words[i])
+			g.send(g.ranks[i], tagA2A, send[i], words[i])
 		}
 		for i := 0; i < n; i++ {
 			if opt.SkipEmpty {
@@ -96,7 +99,7 @@ func AlltoallVW[T any](g Group, send [][]T, words []int, opt A2AOptions) [][]T {
 					continue
 				}
 			}
-			payload, _ := g.p.Recv(g.ranks[i], tagA2A)
+			payload, _ := g.recv(g.ranks[i], tagA2A)
 			deliver(i, payload)
 		}
 		return recv
@@ -108,17 +111,17 @@ func AlltoallVW[T any](g Group, send [][]T, words []int, opt A2AOptions) [][]T {
 		if opt.SkipEmpty {
 			g.p.SendFree(g.ranks[dst], tagA2AProbe+r, len(send[dst]) > 0)
 			if len(send[dst]) > 0 {
-				g.p.Send(g.ranks[dst], tagA2A+r, send[dst], words[dst])
+				g.send(g.ranks[dst], tagA2A+r, send[dst], words[dst])
 			}
 			probe, _ := g.p.Recv(g.ranks[src], tagA2AProbe+r)
 			if probe.(bool) {
-				payload, _ := g.p.Recv(g.ranks[src], tagA2A+r)
+				payload, _ := g.recv(g.ranks[src], tagA2A+r)
 				deliver(src, payload)
 			}
 			continue
 		}
-		g.p.Send(g.ranks[dst], tagA2A+r, send[dst], words[dst])
-		payload, _ := g.p.Recv(g.ranks[src], tagA2A+r)
+		g.send(g.ranks[dst], tagA2A+r, send[dst], words[dst])
+		payload, _ := g.recv(g.ranks[src], tagA2A+r)
 		deliver(src, payload)
 	}
 	return recv

@@ -108,8 +108,8 @@ func (g Group) Barrier() {
 	for k, d := 0, 1; d < n; k, d = k+1, d*2 {
 		dst := g.ranks[(g.me+d)%n]
 		src := g.ranks[(g.me-d%n+n)%n]
-		g.p.Send(dst, tagBarrier+k, nil, 0)
-		g.p.Recv(src, tagBarrier+k)
+		g.send(dst, tagBarrier+k, nil, 0)
+		g.recv(src, tagBarrier+k)
 	}
 }
 
@@ -131,7 +131,7 @@ func (g Group) Bcast(root int, vec []int) []int {
 			mask <<= 1
 		}
 		parent := g.ranks[((rel-mask)+root)%n]
-		payload, _ := g.p.Recv(parent, tagBcast)
+		payload, _ := g.recv(parent, tagBcast)
 		if payload != nil {
 			vec = payload.([]int)
 		} else {
@@ -147,7 +147,7 @@ func (g Group) Bcast(root int, vec []int) []int {
 		childRel := rel + m
 		if childRel < n {
 			child := g.ranks[(childRel+root)%n]
-			g.p.Send(child, tagBcast, cloneInts(vec), len(vec))
+			g.send(child, tagBcast, cloneInts(vec), len(vec))
 		}
 	}
 	return vec
@@ -169,7 +169,7 @@ func cloneInts(v []int) []int {
 func GatherV[T any](g Group, root int, contrib []T, wordsPerElem int) [][]T {
 	n := len(g.ranks)
 	if g.me != root {
-		g.p.Send(g.ranks[root], tagGather, contrib, len(contrib)*wordsPerElem)
+		g.send(g.ranks[root], tagGather, contrib, len(contrib)*wordsPerElem)
 		return nil
 	}
 	out := make([][]T, n)
@@ -178,7 +178,7 @@ func GatherV[T any](g Group, root int, contrib []T, wordsPerElem int) [][]T {
 			out[i] = contrib
 			continue
 		}
-		payload, _ := g.p.Recv(g.ranks[i], tagGather)
+		payload, _ := g.recv(g.ranks[i], tagGather)
 		if payload != nil {
 			out[i] = payload.([]T)
 		}

@@ -1,0 +1,205 @@
+package comm
+
+import (
+	"reflect"
+	"testing"
+
+	"packunpack/internal/sim"
+)
+
+// collectiveWorkload runs every collective in the package and folds all
+// results into results[rank], so a faulted run can be compared
+// value-for-value against a fault-free one.
+func collectiveWorkload(results [][]int) func(g Group) {
+	return func(g Group) {
+		n := g.Size()
+		me := g.Index()
+		var out []int
+
+		var v []int
+		if me == n-1 {
+			v = []int{7, me, 3}
+		}
+		v = g.Bcast(n-1, v)
+		out = append(out, v...)
+		g.Barrier()
+
+		vec := make([]int, 9)
+		for j := range vec {
+			vec[j] = (me + 1) * (j + 2) % 13
+		}
+		for _, algo := range []PRSAlgorithm{PRSDirect, PRSSplit} {
+			prefix, total := g.PrefixReductionSum(vec, algo)
+			out = append(out, prefix...)
+			out = append(out, total...)
+		}
+
+		for _, opt := range []A2AOptions{{}, {Naive: true}, {SkipEmpty: true}, {SkipEmpty: true, Naive: true}} {
+			send := make([][]int, n)
+			for i := range send {
+				l := (me*7 + i*3) % 4 // mix of empty and non-empty messages
+				buf := make([]int, l)
+				for j := range buf {
+					buf[j] = me*100 + i*10 + j
+				}
+				send[i] = buf
+			}
+			recv := AlltoallVOpt(g, send, 1, opt)
+			for i := range recv {
+				out = append(out, len(recv[i]))
+				out = append(out, recv[i]...)
+			}
+		}
+
+		gathered := GatherV(g, 0, []int{me, me * me}, 1)
+		if me == 0 {
+			for _, row := range gathered {
+				out = append(out, row...)
+			}
+		}
+		results[g.Proc().Rank()] = out
+	}
+}
+
+func runFaultWorkload(t *testing.T, sched sim.Sched, faults *sim.FaultConfig, trace bool) ([][]int, *sim.Machine) {
+	t.Helper()
+	const n = 6
+	results := make([][]int, n)
+	m := sim.MustNew(sim.Config{Procs: n, Params: sim.CM5Params(), Sched: sched, Trace: trace, Faults: faults})
+	if err := m.Run(func(p *sim.Proc) { collectiveWorkload(results)(World(p)) }); err != nil {
+		t.Fatalf("sched %v faults %v: %v", sched, faults, err)
+	}
+	return results, m
+}
+
+// TestCollectivesUnderFaults is the core reliable-delivery guarantee:
+// every collective returns values identical to the fault-free run under
+// any seeded fault schedule, on both schedulers.
+func TestCollectivesUnderFaults(t *testing.T) {
+	baseline, _ := runFaultWorkload(t, sim.SchedCooperative, nil, false)
+	schedules := []*sim.FaultConfig{
+		{Seed: 1, Drop: 0.02, Dup: 0.02, Reorder: 0.05, Delay: 0.05, Stall: 0.01},
+		{Seed: 2, Drop: 0.25},
+		{Seed: 3, Dup: 0.2, Reorder: 0.3},
+		{Seed: 4, Drop: 0.1, Dup: 0.1, Reorder: 0.1, Delay: 0.1, Stall: 0.05},
+	}
+	for _, sched := range []sim.Sched{sim.SchedCooperative, sim.SchedGoroutine} {
+		for _, f := range schedules {
+			got, m := runFaultWorkload(t, sched, f, false)
+			if !reflect.DeepEqual(got, baseline) {
+				t.Errorf("sched %v faults %v: results diverge from fault-free run", sched, f)
+			}
+			rep := m.FaultReport()
+			if rep == nil || rep.Total.Injected() == 0 {
+				t.Errorf("sched %v faults %v: nothing injected", sched, f)
+			}
+			if rep.Total.Drops > 0 && rep.Total.Retries == 0 {
+				t.Errorf("sched %v faults %v: drops but no retries recorded", sched, f)
+			}
+			if rep.Total.Dups > 0 && rep.Total.Dedups == 0 && rep.Total.Residual == 0 {
+				t.Errorf("sched %v faults %v: dups neither deduped nor residual", sched, f)
+			}
+		}
+	}
+}
+
+// TestFaultScheduleDeterminism is the determinism satellite: the same
+// seed replays an identical fault schedule — same FaultReport and same
+// per-rank event streams — on both schedulers, while different seeds
+// hit different (non-empty) injection points.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	f := &sim.FaultConfig{Seed: 9, Drop: 0.08, Dup: 0.08, Reorder: 0.1, Delay: 0.1, Stall: 0.03}
+	_, coop := runFaultWorkload(t, sim.SchedCooperative, f, true)
+	_, gor := runFaultWorkload(t, sim.SchedGoroutine, f, true)
+
+	repC, repG := coop.FaultReport(), gor.FaultReport()
+	if repC.Total.Injected() == 0 {
+		t.Fatal("schedule injected nothing")
+	}
+	if !reflect.DeepEqual(repC, repG) {
+		t.Errorf("fault reports differ across schedulers:\n%+v\nvs\n%+v", repC.Total, repG.Total)
+	}
+	if !reflect.DeepEqual(coop.Stats(), gor.Stats()) {
+		t.Error("stats differ across schedulers under faults")
+	}
+	// Event Seq numbering is machine-global under the cooperative
+	// scheduler and per-rank under the goroutine one; everything else
+	// in the per-rank streams must agree.
+	norm := func(rows [][]sim.Event) [][]sim.Event {
+		for _, row := range rows {
+			for i := range row {
+				row[i].Seq = 0
+			}
+		}
+		return rows
+	}
+	if !reflect.DeepEqual(norm(coop.Events()), norm(gor.Events())) {
+		t.Error("per-rank event streams differ across schedulers under faults")
+	}
+
+	_, again := runFaultWorkload(t, sim.SchedCooperative, f, true)
+	if !reflect.DeepEqual(again.FaultReport(), repC) {
+		t.Error("same seed did not replay the same fault schedule")
+	}
+	other := &sim.FaultConfig{Seed: 10, Drop: 0.08, Dup: 0.08, Reorder: 0.1, Delay: 0.1, Stall: 0.03}
+	_, diff := runFaultWorkload(t, sim.SchedCooperative, other, true)
+	repO := diff.FaultReport()
+	if repO.Total.Injected() == 0 {
+		t.Error("seed 10 injected nothing")
+	}
+	if reflect.DeepEqual(repO.PerRank, repC.PerRank) {
+		t.Error("different seeds produced identical injection points")
+	}
+}
+
+// TestFaultBudgetExhaustion: a schedule that drops everything exhausts
+// the retry budget and surfaces as a structured FaultBudgetError, with
+// the FaultReport still available for post-mortem.
+func TestFaultBudgetExhaustion(t *testing.T) {
+	for _, sched := range []sim.Sched{sim.SchedCooperative, sim.SchedGoroutine} {
+		m := sim.MustNew(sim.Config{Procs: 4, Params: sim.CM5Params(), Sched: sched,
+			Faults: &sim.FaultConfig{Seed: 1, Drop: 1, MaxRetries: 3}})
+		err := m.Run(func(p *sim.Proc) {
+			g := World(p)
+			g.Bcast(0, []int{1, 2, 3})
+		})
+		if !sim.IsFaultBudget(err) {
+			t.Fatalf("sched %v: want FaultBudgetError, got %v", sched, err)
+		}
+		rep := m.FaultReport()
+		if rep == nil || rep.Total.Drops == 0 || rep.Total.Retries == 0 {
+			t.Errorf("sched %v: report after exhaustion: %+v", sched, rep)
+		}
+	}
+}
+
+// TestReliableStreamHeaderCharge: with faults enabled every reliable
+// message carries a one-word sequence header; with faults off the wire
+// traffic is bit-identical to the raw path.
+func TestReliableStreamHeaderCharge(t *testing.T) {
+	run := func(f *sim.FaultConfig) []sim.Stats {
+		m := sim.MustNew(sim.Config{Procs: 2, Params: sim.CM5Params(), Sched: sim.SchedCooperative, Faults: f})
+		if err := m.Run(func(p *sim.Proc) {
+			g := World(p)
+			if g.Index() == 0 {
+				g.send(1, tagGather, []int{1, 2, 3}, 3)
+			} else {
+				g.recv(0, tagGather)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats()
+	}
+	off := run(nil)
+	on := run(&sim.FaultConfig{Seed: 1}) // all rates zero: transport on, no injections
+	if off[0].WordsSent != 3 {
+		t.Fatalf("raw path sent %d words, want 3", off[0].WordsSent)
+	}
+	if on[0].WordsSent != 4 {
+		t.Errorf("reliable path sent %d words, want 4 (payload + seq header)", on[0].WordsSent)
+	}
+	if on[0].MsgsSent != off[0].MsgsSent {
+		t.Errorf("message count changed: %d vs %d", on[0].MsgsSent, off[0].MsgsSent)
+	}
+}

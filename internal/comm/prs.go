@@ -101,10 +101,10 @@ func (g Group) prsDirect(vec []int) (prefix, total []int) {
 
 	for k, d := 0, 1; d < n; k, d = k+1, d*2 {
 		if g.me+d < n {
-			g.p.Send(g.ranks[g.me+d], tagScan+k, cloneInts(acc), m)
+			g.send(g.ranks[g.me+d], tagScan+k, cloneInts(acc), m)
 		}
 		if g.me-d >= 0 {
-			payload, _ := g.p.Recv(g.ranks[g.me-d], tagScan+k)
+			payload, _ := g.recv(g.ranks[g.me-d], tagScan+k)
 			part := payload.([]int)
 			g.p.Charge(2 * m) // add into prefix and into acc
 			for j := 0; j < m; j++ {

@@ -14,12 +14,15 @@ import "fmt"
 // hence every rank — of the real elements is unchanged.
 
 // ValidateRelaxed checks only that the dimension is well-formed
-// (positive extent, processors and block size), without the paper's
-// divisibility assumptions.
+// (non-negative extent, positive processors and block size), without
+// the paper's divisibility assumptions. A zero extent is legal here —
+// Fortran 90 allows zero-extent dimensions, under which every
+// processor owns nothing and PACK/UNPACK degenerate to empty results —
+// though not in the strict Validate.
 func (d Dim) ValidateRelaxed() error {
 	switch {
-	case d.N <= 0:
-		return fmt.Errorf("dist: N must be positive, got %d", d.N)
+	case d.N < 0:
+		return fmt.Errorf("dist: N must be non-negative, got %d", d.N)
 	case d.P <= 0:
 		return fmt.Errorf("dist: P must be positive, got %d", d.P)
 	case d.W <= 0:
@@ -48,10 +51,16 @@ func (d Dim) LocalLenAt(coord int) int {
 // Padded returns the dimension with its extent rounded up to the next
 // multiple of the tile size S = P*W. The padded dimension always
 // satisfies the paper's divisibility assumptions, and every index of
-// the original dimension keeps its owner and local index.
+// the original dimension keeps its owner and local index. A
+// zero-extent dimension pads to one full tile (all padding, every
+// element masked out), so the strict validation downstream holds.
 func (d Dim) Padded() Dim {
 	s := d.S()
-	return Dim{N: (d.N + s - 1) / s * s, P: d.P, W: d.W}
+	n := (d.N + s - 1) / s * s
+	if n == 0 {
+		n = s
+	}
+	return Dim{N: n, P: d.P, W: d.W}
 }
 
 // GeneralLayout describes a rank-d array distributed block-cyclically

@@ -13,7 +13,12 @@ func TestValidateRelaxed(t *testing.T) {
 	if err := (Dim{N: 17, P: 4, W: 200}).ValidateRelaxed(); err != nil {
 		t.Errorf("oversize block rejected under relaxed rules: %v", err)
 	}
-	for _, d := range []Dim{{N: 0, P: 1, W: 1}, {N: 1, P: 0, W: 1}, {N: 1, P: 1, W: 0}} {
+	// Zero extents are legal under the relaxed rules (Fortran 90
+	// zero-extent dimensions); everything else degenerate still fails.
+	if err := (Dim{N: 0, P: 2, W: 3}).ValidateRelaxed(); err != nil {
+		t.Errorf("zero-extent dimension rejected under relaxed rules: %v", err)
+	}
+	for _, d := range []Dim{{N: -1, P: 1, W: 1}, {N: 1, P: 0, W: 1}, {N: 1, P: 1, W: 0}} {
 		if err := d.ValidateRelaxed(); err == nil {
 			t.Errorf("degenerate dimension %+v accepted", d)
 		}
@@ -129,15 +134,29 @@ func TestGeneralLayoutErrors(t *testing.T) {
 	if _, err := NewGeneralLayout(); err == nil {
 		t.Error("empty general layout accepted")
 	}
-	if _, err := NewGeneralLayout(Dim{N: 0, P: 1, W: 1}); err == nil {
+	if _, err := NewGeneralLayout(Dim{N: -1, P: 1, W: 1}); err == nil {
 		t.Error("degenerate dimension accepted")
+	}
+	// A zero-extent dimension builds: the layout is empty everywhere
+	// and pads to one full (all-padding) tile.
+	gl := MustGeneralLayout(Dim{N: 0, P: 2, W: 3}, Dim{N: 4, P: 2, W: 2})
+	if gl.GlobalSize() != 0 {
+		t.Errorf("zero-extent layout GlobalSize = %d, want 0", gl.GlobalSize())
+	}
+	for r := 0; r < gl.Procs(); r++ {
+		if n := gl.LocalSizeAt(r); n != 0 {
+			t.Errorf("zero-extent layout rank %d owns %d elements, want 0", r, n)
+		}
+	}
+	if padded := gl.Padded(); padded.Dims[0].N != 6 {
+		t.Errorf("zero-extent dimension padded to N=%d, want one tile (6)", padded.Dims[0].N)
 	}
 	defer func() {
 		if recover() == nil {
 			t.Error("MustGeneralLayout did not panic")
 		}
 	}()
-	MustGeneralLayout(Dim{N: 0, P: 1, W: 1})
+	MustGeneralLayout(Dim{N: -1, P: 1, W: 1})
 }
 
 func TestGeneralLayoutLocalShapes(t *testing.T) {

@@ -12,9 +12,10 @@ import (
 // smallest virtual clock (ties broken by rank, so runs are fully
 // deterministic) holds the baton until it blocks in Recv with no
 // matching message, finishes, or panics, and then resumes its successor
-// directly. Handoffs go through unbuffered channels, which both enforce
-// the one-runner-at-a-time invariant and establish the happens-before
-// edges that make the lock-free mailbox access race-safe.
+// directly. Handoffs go through one-slot channels — the sender performs
+// no scheduler work after the send, which enforces the
+// one-runner-at-a-time invariant, and the send happens-before the
+// matching receive, which makes the lock-free mailbox access race-safe.
 //
 // Because every blocked receive and every delivered message passes
 // through the scheduler state, a wedged machine is not inferred from
@@ -210,8 +211,15 @@ func (m *Machine) runCoop(body func(p *Proc)) error {
 		m:        m,
 		left:     n,
 	}
+	// The resume channels carry the baton. A one-slot buffer lets a
+	// processor that discovers the deadlock while being the only (or
+	// lowest-ranked) blocked waiter post its own unwind token before
+	// parking — with an unbuffered channel that self-send would hang.
+	// The handoff discipline is unchanged: the sender does no scheduler
+	// work after the send, so at most one processor runs at a time, and
+	// the buffered send still happens-before the matching receive.
 	for i := range c.resume {
-		c.resume[i] = make(chan bool)
+		c.resume[i] = make(chan bool, 1)
 	}
 	procs := m.newProcs()
 	c.procs = procs

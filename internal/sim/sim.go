@@ -128,6 +128,13 @@ type Config struct {
 	// sink as it is produced (without requiring Trace's buffering). See
 	// EventSink for the concurrency contract.
 	Sink EventSink
+	// Faults, when non-nil, enables the deterministic fault-injection
+	// subsystem (fault.go): TrySend delivery attempts are subjected to
+	// a seeded schedule of drops, duplications, reorderings, delays,
+	// and sender stalls, and Machine.FaultReport summarises the run.
+	// New validates the plan and stores a normalized private copy. Nil
+	// leaves every communication primitive exact.
+	Faults *FaultConfig
 }
 
 // Span is one recorded interval of a processor timeline: [Start, End)
@@ -368,6 +375,9 @@ type Stats struct {
 	MsgsSent  int64
 	WordsSent int64
 	Phases    map[string]PhaseStats
+	// Faults tallies this processor's injected faults and recovery
+	// actions; all zero unless the machine ran with Config.Faults set.
+	Faults FaultCounters
 }
 
 // Machine is a collection of logical processors sharing a virtual
@@ -387,10 +397,11 @@ type Machine struct {
 	// handoffs order every access); reset at the start of each Run.
 	seq uint64
 
-	mu     sync.Mutex
-	stats  []Stats
-	spans  [][]Span
-	events [][]Event
+	mu          sync.Mutex
+	stats       []Stats
+	spans       [][]Span
+	events      [][]Event
+	faultReport *FaultReport
 }
 
 // New builds a machine with cfg.Procs processors.
@@ -401,6 +412,11 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Params.Tau < 0 || cfg.Params.Mu < 0 || cfg.Params.Delta < 0 {
 		return nil, fmt.Errorf("sim: negative cost parameters %+v", cfg.Params)
 	}
+	faults, err := normalizeFaults(cfg.Faults, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Faults = faults
 	m := &Machine{cfg: cfg, boxes: make([]*mailbox, cfg.Procs)}
 	for i := range m.boxes {
 		m.boxes[i] = newMailbox()
@@ -466,6 +482,9 @@ func recoverRankErr(rank int, r any) error {
 	if de, ok := r.(deadlockError); ok {
 		return de
 	}
+	if fe, ok := r.(*FaultBudgetError); ok {
+		return fe
+	}
 	return fmt.Errorf("sim: processor %d panicked: %v", rank, r)
 }
 
@@ -511,11 +530,26 @@ func (m *Machine) finishRun(procs []*Proc, errs []error, diag error) error {
 	m.stats = make([]Stats, m.cfg.Procs)
 	m.spans = make([][]Span, m.cfg.Procs)
 	m.events = make([][]Event, m.cfg.Procs)
+	m.faultReport = nil
+	if m.cfg.Faults != nil {
+		// Trailing duplicates a receiver had no reason to consume are an
+		// expected end state of a faulted run, not a protocol error:
+		// count them as residual (attributed to the destination rank)
+		// and drain the mailboxes so a later Run starts clean.
+		for i, b := range m.boxes {
+			if n := len(b.queue); n > 0 {
+				procs[i].faults.Residual += int64(n)
+				b.queue = nil
+			}
+		}
+		m.faultReport = buildFaultReport(m.cfg.Faults.Seed, procs)
+	}
 	for i, p := range procs {
 		if p.tracing() {
 			p.flushCharge()
 		}
 		p.stats.Clock = p.clock
+		p.stats.Faults = p.faults
 		m.stats[i] = p.stats
 		m.spans[i] = p.spans
 		m.events[i] = p.events
@@ -541,6 +575,9 @@ func (m *Machine) finishRun(procs []*Proc, errs []error, diag error) error {
 		return diag
 	case len(deadlocks) > 0:
 		return errors.Join(deadlocks...)
+	}
+	if m.cfg.Faults != nil {
+		return nil // leftovers were folded into the report's residual
 	}
 	for i, b := range m.boxes {
 		if n := b.pending(); n != 0 {
@@ -660,6 +697,12 @@ type Proc struct {
 	chargeStart float64
 	chargeEnd   float64
 	chargeOps   int64
+
+	// Fault-injection state (fault.go); all zero when faults are off.
+	faultSeq    uint64 // per-rank delivery attempt counter
+	faults      FaultCounters
+	phaseFaults map[string]FaultCounters
+	commState   any // opaque slot for the reliable transport (CommState)
 }
 
 // record appends (or extends) a timeline span ending at the current

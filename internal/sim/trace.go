@@ -48,6 +48,32 @@ const (
 	// operations ending at Time, Dur virtual microseconds long.
 	// Contiguous charges in one phase collapse into a single event.
 	EvCharge
+	// EvFaultDrop marks an injected message drop on the sender's
+	// timeline: the attempt identified by MsgID paid its wire occupancy
+	// but never reached the destination mailbox (fault.go).
+	EvFaultDrop
+	// EvFaultDup marks an injected duplication: the destination
+	// received a second copy of the message identified by MsgID.
+	EvFaultDup
+	// EvFaultReorder marks an injected reordering: the message was
+	// enqueued at the front of the destination mailbox, overtaking
+	// everything queued before it.
+	EvFaultReorder
+	// EvFaultDelay marks an injected delivery delay: Dur extra virtual
+	// microseconds before the message becomes available, Time the
+	// delayed arrival.
+	EvFaultDelay
+	// EvFaultStall marks an injected transient processor stall of Dur
+	// virtual microseconds ending at Time, charged as local time before
+	// a delivery attempt.
+	EvFaultStall
+	// EvRetry marks the reliable transport re-sending after a
+	// retransmission timeout: Dur is the timeout charged, Peer the
+	// destination of the retried message.
+	EvRetry
+	// EvDedup marks the reliable receiver discarding a duplicate
+	// envelope from Peer.
+	EvDedup
 )
 
 func (k EventKind) String() string {
@@ -64,6 +90,20 @@ func (k EventKind) String() string {
 		return "phase"
 	case EvCharge:
 		return "charge"
+	case EvFaultDrop:
+		return "fault-drop"
+	case EvFaultDup:
+		return "fault-dup"
+	case EvFaultReorder:
+		return "fault-reorder"
+	case EvFaultDelay:
+		return "fault-delay"
+	case EvFaultStall:
+		return "fault-stall"
+	case EvRetry:
+		return "retry"
+	case EvDedup:
+		return "dedup"
 	}
 	return "unknown"
 }

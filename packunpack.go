@@ -69,6 +69,43 @@ type Stats = sim.Stats
 // PhaseStats is a per-phase virtual-time breakdown.
 type PhaseStats = sim.PhaseStats
 
+// Sched selects the machine's execution mode (Config.Sched).
+type Sched = sim.Sched
+
+const (
+	// SchedGoroutine runs the processors concurrently on goroutines.
+	SchedGoroutine = sim.SchedGoroutine
+	// SchedCooperative runs them one at a time in deterministic
+	// (virtual clock, rank) order with exact deadlock detection.
+	SchedCooperative = sim.SchedCooperative
+)
+
+// FaultConfig is a seeded, deterministic fault-injection plan for the
+// emulated network (Config.Faults): message drop, duplication,
+// reordering, extra delay and transient processor stalls. With a plan
+// installed, Pack/Unpack ride a reliable transport (sequence numbers,
+// ack/timeout/retry, receiver-side dedup) and still return exact
+// results; the injection activity is reported in FaultReport.
+type FaultConfig = sim.FaultConfig
+
+// FaultCounters tallies fault-injection and recovery activity.
+type FaultCounters = sim.FaultCounters
+
+// FaultReport summarises a faulted run: totals, per-rank and per-phase
+// counters. Available from Machine.FaultReport after Run.
+type FaultReport = sim.FaultReport
+
+// FaultBudgetError reports a send that exhausted its retry budget.
+type FaultBudgetError = sim.FaultBudgetError
+
+// ParseFaults parses a fault plan from "seed[:name=value,...]"
+// notation, e.g. "42:drop=0.01,dup=0.005" (the cmd/packbench -faults
+// syntax).
+func ParseFaults(s string) (*FaultConfig, error) { return sim.ParseFaults(s) }
+
+// IsFaultBudget reports whether err is (or wraps) a FaultBudgetError.
+func IsFaultBudget(err error) bool { return sim.IsFaultBudget(err) }
+
 // CM5Params returns machine constants flavoured after the CM-5 the
 // paper measured on.
 func CM5Params() Params { return sim.CM5Params() }
