@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate fuzz-short fault-race ci
+.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate planbench fuzz-short fault-race ci
 
 all: build
 
@@ -48,7 +48,7 @@ smoke-trace:
 # failure, and jsoncheck re-verifies from a separate process).
 validate-perf:
 	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 2 -json /tmp/packbench-perf.json >/dev/null
-	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-perf.json schema=packbench-perf/v4
+	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-perf.json schema=packbench-perf/v5
 
 # perfgate is the CI perf-regression gate: re-run the full quick sweep
 # and diff it against the committed baseline with cmd/packdiff. Virtual
@@ -61,13 +61,21 @@ validate-perf:
 # only between serial runs (worker completion order perturbs float
 # accumulation; see DESIGN.md §10). -samples 5 gives each row robust
 # wall statistics.
-PERFGATE_BASELINE ?= BENCH_pr5.json
+PERFGATE_BASELINE ?= BENCH_pr6.json
 PERFGATE_OUT      ?= /tmp/packbench-perfgate.json
 PERFGATE_DELTA    ?= /tmp/packdiff-delta.md
 perfgate:
 	$(GO) run ./cmd/packbench -exp all -quick -seed 1 -parallel 1 -sched coop \
 		-samples 5 -json $(PERFGATE_OUT) >/dev/null
 	$(GO) run ./cmd/packdiff -o $(PERFGATE_DELTA) $(PERFGATE_BASELINE) $(PERFGATE_OUT)
+
+# planbench is the plan-cache acceptance gate: the repeat-traffic
+# experiment must show a cache hit rate >= 0.99 after warmup and an
+# amortized wall-time speedup >= 1.3x for the planned path on the
+# representative configuration (packbench exits non-zero below either
+# threshold).
+planbench:
+	$(GO) run ./cmd/packbench -exp planrepeat -quick -seed 1 -parallel 1 -sched coop -plan-gate
 
 # fuzz-short gives each native fuzz target a brief budget of fresh
 # coverage-guided inputs on top of the checked-in seed corpus. `go test
@@ -80,10 +88,11 @@ fuzz-short:
 	$(GO) test ./internal/dist -run '^$$' -fuzz '^FuzzDimRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dist -run '^$$' -fuzz '^FuzzVectorDist$$' -fuzztime $(FUZZTIME)
 
-# fault-race runs the fault-injection and property-differential suites
-# under the race detector. `make race` already covers them; this target
-# exists to re-run just the fault surface quickly while iterating.
+# fault-race runs the fault-injection, property-differential and
+# shared-plan-cache suites under the race detector. `make race` already
+# covers them; this target exists to re-run just that surface quickly
+# while iterating.
 fault-race:
-	$(GO) test -race -run 'Fault|Property' ./...
+	$(GO) test -race -run 'Fault|Property|PlanCache' ./...
 
-ci: vet staticcheck build race smoke smoke-trace validate-perf perfgate
+ci: vet staticcheck build race smoke smoke-trace validate-perf perfgate planbench

@@ -50,6 +50,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	samples := flag.Int("samples", 1, "wall-clock samples per experiment: repeat each warm-cache replay this many times and report median/p10/p90/MAD")
 	faultsFlag := flag.String("faults", "", "run every measured machine under a deterministic fault-injection plan, 'seed[:name=value,...]' (names: drop,dup,reorder,delay,stall,delaymax,stallmax,timeout,retries), e.g. '42:drop=0.01,dup=0.005'")
+	planGate := flag.Bool("plan-gate", false, "measure plan-cache wall-clock amortization (plan_repeat) and fail unless hit rate >= 0.99 and wall speedup >= 1.3x (make planbench)")
 	flag.Parse()
 
 	if *samples < 1 {
@@ -148,6 +149,32 @@ func main() {
 		perfs = append(perfs, perf...)
 	}
 
+	// The plan_repeat wall measurement runs when gating is requested or
+	// when a perf report that includes the planrepeat experiment is
+	// being written (so BENCH baselines record the amortization).
+	var planPerf *bench.PlanRepeatPerf
+	needPlanPerf := *planGate
+	if *jsonPath != "" {
+		for _, id := range ids {
+			if id == "planrepeat" {
+				needPlanPerf = true
+			}
+		}
+	}
+	if needPlanPerf {
+		pp := suite.MeasurePlanRepeat()
+		planPerf = &pp
+		fmt.Printf("plan_repeat: %s — %d calls, unplanned %.4f ms/call, planned %.4f ms/call (%.2fx wall, %.2fx virtual), hit rate %.4f\n",
+			pp.Config, pp.Calls, pp.UnplannedWallMS, pp.PlannedWallMS, pp.WallSpeedup, pp.VirtualSpeedup, pp.HitRate)
+		if *planGate {
+			if err := pp.Gate(0.99, 1.3); err != nil {
+				fmt.Fprintf(os.Stderr, "packbench: plan gate failed: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("plan gate passed: hit rate >= 0.99, wall speedup >= 1.3x\n")
+		}
+	}
+
 	// The header carries the environment fingerprint and sample count
 	// so a pasted table is self-describing: virtual times are
 	// host-independent, but anyone comparing the wall figures needs to
@@ -183,6 +210,7 @@ func main() {
 			Env:         &env,
 			Experiments: perfs,
 			Total:       bench.SumPerf(perfs),
+			PlanRepeat:  planPerf,
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -1,5 +1,5 @@
 // Command packdiff compares two packbench perf reports (schema
-// packbench-perf/v1 through v4) under the pipeline's exact-vs-noisy
+// packbench-perf/v1 through v5) under the pipeline's exact-vs-noisy
 // rule:
 //
 //   - virtual_ms and the derived registry means are exact replays of
@@ -26,6 +26,13 @@
 // completion order perturbs the floating-point accumulation of
 // virtual_ms, and the parallel collect pass over-collects on
 // data-dependent grids). `make perfgate` pins those knobs.
+//
+// Schema skew is tolerated: when the two reports carry different
+// schema versions or experiment grids (a newer schema typically adds
+// experiments — v5 added planrepeat and the plan_repeat object), the
+// fields and aggregate rows that do not measure the same work are
+// warned about and skipped, while every shared per-experiment row is
+// still compared exactly.
 package main
 
 import (

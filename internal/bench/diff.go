@@ -47,8 +47,9 @@ func SchemaVersion(schema string) (int, error) {
 }
 
 // LoadPerfReport reads and validates a perf report of any schema
-// version v1–v4. Fields a version lacks read as their zero values
-// (v1 has no sched, v1–v3 no samples/env/wall_stats).
+// version v1–v5. Fields a version lacks read as their zero values
+// (v1 has no sched, v1–v3 no samples/env/wall_stats, v1–v4 no
+// plan_repeat).
 func LoadPerfReport(path string) (*PerfReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -126,11 +127,21 @@ type RowDiff struct {
 	// machine_runs) — informational, since a PR may legitimately grow
 	// the grid, but worth surfacing next to the timing deltas.
 	StructureDrift []string
+
+	// Incomparable marks a row whose exact comparison was skipped
+	// because the two reports do not measure the same thing: the
+	// aggregate "all" row when the experiment grids differ (a newer
+	// schema typically adds experiments, so its total legitimately
+	// includes work the baseline never ran). Incomparable rows never
+	// fail the virtual gate and never flag wall regressions.
+	Incomparable bool
 }
 
 // VirtualOK reports whether the row's exact-class metrics all match.
+// Incomparable rows pass vacuously: their mismatch is schema/grid
+// skew, not emulator drift.
 func (r RowDiff) VirtualOK() bool {
-	return r.VirtualMatch && len(r.DerivedDrift) == 0
+	return r.Incomparable || (r.VirtualMatch && len(r.DerivedDrift) == 0)
 }
 
 // Diff is the full comparison of two perf reports.
@@ -146,6 +157,11 @@ type Diff struct {
 	// EnvDiffers notes that the two reports were measured under
 	// different host environments, making wall comparisons suspect.
 	EnvDiffers bool
+	// SkewNotes lists schema-evolution differences that were warned
+	// about and skipped rather than compared: fields one schema version
+	// lacks (e.g. v5's plan_repeat against a v4 baseline) and aggregate
+	// rows over differing experiment grids.
+	SkewNotes []string
 }
 
 // VirtualMismatches counts rows whose exact-class metrics drifted.
@@ -204,26 +220,61 @@ func DiffReports(old, new *PerfReport, opt DiffOptions) *Diff {
 	oldRows[old.Total.ID] = old.Total
 
 	newIDs := make(map[string]bool, len(new.Experiments)+1)
-	compare := func(e ExperimentPerf) {
+	for _, e := range new.Experiments {
 		newIDs[e.ID] = true
 		oe, ok := oldRows[e.ID]
 		if !ok {
 			d.OnlyNew = append(d.OnlyNew, e.ID)
-			return
+			continue
 		}
 		d.Rows = append(d.Rows, diffRow(oe, e, opt))
 	}
-	for _, e := range new.Experiments {
-		compare(e)
-	}
-	compare(new.Total)
 	for _, e := range old.Experiments {
 		if !newIDs[e.ID] {
 			d.OnlyOld = append(d.OnlyOld, e.ID)
 		}
 	}
+
+	// The total row sums per-experiment figures, so it is only
+	// exact-comparable when both reports ran the same grid. A schema
+	// bump that adds a canonical experiment (v5 added planrepeat) makes
+	// the totals legitimately differ: warn and skip instead of failing
+	// the gate — every shared per-experiment row is still compared
+	// exactly.
+	gridsDiffer := len(d.OnlyOld) > 0 || len(d.OnlyNew) > 0
+	newIDs[new.Total.ID] = true
+	if oe, ok := oldRows[new.Total.ID]; ok {
+		r := diffRow(oe, new.Total, opt)
+		if gridsDiffer {
+			r.Incomparable = true
+			r.WallFlagged, r.AllocFlagged = false, false
+			d.SkewNotes = append(d.SkewNotes, fmt.Sprintf(
+				"aggregate %q row skipped: the experiment grids differ (%d id(s) only in old, %d only in new), so the totals do not sum the same work",
+				new.Total.ID, len(d.OnlyOld), len(d.OnlyNew)))
+		}
+		d.Rows = append(d.Rows, r)
+	} else {
+		d.OnlyNew = append(d.OnlyNew, new.Total.ID)
+	}
 	if !newIDs[old.Total.ID] {
 		d.OnlyOld = append(d.OnlyOld, old.Total.ID)
+	}
+
+	// Fields one schema version lacks are skew, not drift: warn and
+	// skip. plan_repeat (v5) is the wall-clock plan-cache amortization —
+	// a host measurement, so even two v5 reports are not exact-compared
+	// on it; its presence mismatch is still worth a note.
+	if ov, nv := old.PlanRepeat != nil, new.PlanRepeat != nil; ov != nv {
+		which := "new"
+		if ov {
+			which = "old"
+		}
+		d.SkewNotes = append(d.SkewNotes, fmt.Sprintf(
+			"plan_repeat object present only in the %s report (schema v5 field) — skipped, not compared", which))
+	}
+	if old.Schema != new.Schema {
+		d.SkewNotes = append(d.SkewNotes, fmt.Sprintf(
+			"schema skew: %s vs %s — fields the older schema lacks read as zero and are skipped", old.Schema, new.Schema))
 	}
 	return d
 }
@@ -294,6 +345,9 @@ func fmtP(p float64) string {
 }
 
 func (r RowDiff) virtualCell() string {
+	if r.Incomparable {
+		return "skipped (grids differ)"
+	}
 	if r.VirtualOK() {
 		return "ok"
 	}
@@ -320,6 +374,9 @@ func (d *Diff) WriteMarkdown(w io.Writer) {
 	if d.EnvDiffers {
 		fmt.Fprintf(w, "- **environments differ** — wall/alloc deltas may reflect the host, not the code\n")
 	}
+	for _, note := range d.SkewNotes {
+		fmt.Fprintf(w, "- **skew**: %s\n", note)
+	}
 	if len(d.OnlyOld) > 0 {
 		fmt.Fprintf(w, "- only in old: %s\n", strings.Join(d.OnlyOld, ", "))
 	}
@@ -331,6 +388,9 @@ func (d *Diff) WriteMarkdown(w io.Writer) {
 	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|:--|:--|")
 	for _, r := range d.Rows {
 		var notes []string
+		if r.Incomparable {
+			notes = append(notes, "grids differ")
+		}
 		if r.WallFlagged {
 			if r.WallDelta > 0 {
 				notes = append(notes, "**slower**")
@@ -352,12 +412,12 @@ func (d *Diff) WriteMarkdown(w io.Writer) {
 // WriteTSV renders the delta table as tab-separated values for
 // spreadsheet or awk consumption.
 func (d *Diff) WriteTSV(w io.Writer) {
-	fmt.Fprintln(w, "experiment\twall_old_ms\twall_new_ms\twall_delta\tp\twall_flagged\tallocs_old\tallocs_new\talloc_delta\tvirtual_old_ms\tvirtual_new_ms\tvirtual_ok\tderived_drift\tstructure_drift")
+	fmt.Fprintln(w, "experiment\twall_old_ms\twall_new_ms\twall_delta\tp\twall_flagged\tallocs_old\tallocs_new\talloc_delta\tvirtual_old_ms\tvirtual_new_ms\tvirtual_ok\tincomparable\tderived_drift\tstructure_drift")
 	for _, r := range d.Rows {
-		fmt.Fprintf(w, "%s\t%v\t%v\t%s\t%s\t%v\t%d\t%d\t%s\t%v\t%v\t%v\t%s\t%s\n",
+		fmt.Fprintf(w, "%s\t%v\t%v\t%s\t%s\t%v\t%d\t%d\t%s\t%v\t%v\t%v\t%v\t%s\t%s\n",
 			r.ID, r.OldWallMS, r.NewWallMS, fmtDelta(r.WallDelta), fmtP(r.P), r.WallFlagged,
 			r.OldAllocs, r.NewAllocs, fmtDelta(r.AllocDelta),
-			r.OldVirtualMS, r.NewVirtualMS, r.VirtualOK(),
+			r.OldVirtualMS, r.NewVirtualMS, r.VirtualOK(), r.Incomparable,
 			strings.Join(r.DerivedDrift, ","), strings.Join(r.StructureDrift, ","))
 	}
 }

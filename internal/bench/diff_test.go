@@ -229,6 +229,80 @@ func TestDiffRowAccounting(t *testing.T) {
 	}
 }
 
+// TestDiffSchemaSkewV5VsV4 is the schema-skew satellite: a v5 report
+// (extra planrepeat experiment, plan_repeat object) diffed against a
+// v4 baseline must warn-and-skip the new fields and the aggregate
+// total — and still compare every shared experiment row exactly.
+func TestDiffSchemaSkewV5VsV4(t *testing.T) {
+	old := &PerfReport{Schema: "packbench-perf/v4", Experiments: []ExperimentPerf{
+		{ID: "fig3", WallMS: 1, VirtualMS: 5},
+	}, Total: ExperimentPerf{ID: "all", WallMS: 1, VirtualMS: 5}}
+	cur := &PerfReport{Schema: "packbench-perf/v5", Experiments: []ExperimentPerf{
+		{ID: "fig3", WallMS: 1, VirtualMS: 5},
+		{ID: "planrepeat", WallMS: 2, VirtualMS: 7},
+	},
+		Total:      ExperimentPerf{ID: "all", WallMS: 3, VirtualMS: 12},
+		PlanRepeat: &PlanRepeatPerf{Calls: 120, HitRate: 0.9917, WallSpeedup: 1.5},
+	}
+
+	d := DiffReports(old, cur, DiffOptions{})
+	if vm := d.VirtualMismatches(); vm != 0 {
+		t.Fatalf("schema skew failed the exact gate: %d mismatches", vm)
+	}
+	var total RowDiff
+	var found bool
+	for _, r := range d.Rows {
+		if r.ID == "all" {
+			total, found = r, true
+		}
+	}
+	if !found {
+		t.Fatal("total row missing")
+	}
+	if !total.Incomparable || total.VirtualMatch {
+		t.Fatalf("total row not skipped: %+v", total)
+	}
+	if len(d.OnlyNew) != 1 || d.OnlyNew[0] != "planrepeat" {
+		t.Fatalf("OnlyNew = %v", d.OnlyNew)
+	}
+	joined := strings.Join(d.SkewNotes, "\n")
+	for _, want := range []string{"grids differ", "plan_repeat", "schema skew"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("skew notes missing %q:\n%s", want, joined)
+		}
+	}
+
+	var md, tsv bytes.Buffer
+	d.WriteMarkdown(&md)
+	d.WriteTSV(&tsv)
+	if !strings.Contains(md.String(), "skipped (grids differ)") {
+		t.Fatalf("markdown missing skipped total:\n%s", md.String())
+	}
+	if !strings.Contains(md.String(), "**skew**") {
+		t.Fatalf("markdown missing skew bullets:\n%s", md.String())
+	}
+	if !strings.Contains(tsv.String(), "\tincomparable\t") {
+		t.Fatalf("tsv missing incomparable column:\n%s", tsv.String())
+	}
+
+	// A drifted shared row must still fail even amid skew.
+	cur.Experiments[0].VirtualMS += 1e-9
+	if DiffReports(old, cur, DiffOptions{}).VirtualMismatches() == 0 {
+		t.Fatal("shared-row drift masked by schema skew")
+	}
+
+	// Same grid, same schema: the total stays exact-compared.
+	exact := DiffReports(old, old, DiffOptions{})
+	for _, r := range exact.Rows {
+		if r.Incomparable {
+			t.Fatalf("same-grid row %s marked incomparable", r.ID)
+		}
+	}
+	if len(exact.SkewNotes) != 0 {
+		t.Fatalf("same-schema diff has skew notes: %v", exact.SkewNotes)
+	}
+}
+
 func TestLoadPerfReportRejectsGarbage(t *testing.T) {
 	if _, err := LoadPerfReport(filepath.Join("testdata", "nope.json")); err == nil {
 		t.Fatal("missing file accepted")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"packunpack/internal/pack"
 	"packunpack/internal/sim"
 	"packunpack/internal/trace"
 )
@@ -23,6 +24,10 @@ type Snapshot struct {
 	// Crit is non-nil only for traced runs (packbench -trace-dir);
 	// metrics that need it return ok=false otherwise.
 	Crit *trace.CritReport
+	// Plan is non-nil only for planned runs (Run.Planned): the run's
+	// plan-cache counter snapshot; metrics that need it return ok=false
+	// otherwise.
+	Plan *pack.PlanCacheStats
 }
 
 // maxClock returns the makespan of the snapshot, µs.
@@ -130,6 +135,16 @@ func MetricRegistry() []Metric {
 					return 0, false
 				}
 				return float64(len(s.Crit.Segments)), true
+			},
+		},
+		{
+			Name: "plan_hit_rate",
+			Help: "plan-cache hit fraction of the run's transparent PACK/UNPACK lookups (planned runs only)",
+			Compute: func(s Snapshot) (float64, bool) {
+				if s.Plan == nil || s.Plan.Hits+s.Plan.Misses == 0 {
+					return 0, false
+				}
+				return s.Plan.HitRate(), true
 			},
 		},
 	}

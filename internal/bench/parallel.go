@@ -71,10 +71,11 @@ func (c *runCache) len() int {
 // produce identical metrics (the cross-mode equivalence contract), but
 // a cache must never be able to blur a configuration distinction.
 func runKey(r Run) string {
-	return fmt.Sprintf("%s|%s|%v|%v|%v|%d|%v|%v|%v|%v|%v|%v|%v|%s",
+	return fmt.Sprintf("%s|%s|%v|%v|%v|%d|%v|%v|%v|%v|%v|%v|%v|%s|%d|%v",
 		r.Layout.String(), r.Gen.Name(), r.Opt.Scheme, r.Mode, r.Opt.PRS,
 		r.Opt.VectorW, r.Opt.WholeSliceScan, r.Opt.A2A, r.Opt.SeparatePrefixReduce,
-		r.SelfSendFree, r.Params, r.Sched, r.Trace, r.Faults.String())
+		r.SelfSendFree, r.Params, r.Sched, r.Trace, r.Faults.String(),
+		r.Repeat, r.Planned)
 }
 
 // runCollector accumulates the distinct experiment points a generator

@@ -38,7 +38,17 @@ import (
 // are compared bit-for-bit by cmd/packdiff. v1–v3 files still parse
 // (absent fields read as zero); v3 consumers that ignore unknown keys
 // still parse v4.
-const PerfSchema = "packbench-perf/v4"
+//
+// v5: plan caching. The experiment set gains "planrepeat" (repeat
+// traffic through the PackPlan compilation layer), whose rows' derived
+// objects carry "plan_hit_rate"; a top-level "plan_repeat" object
+// records the wall-clock amortization measurement (calls, per-call
+// unplanned/planned wall ms, speedup, hit rate). Rows of unplanned
+// experiments are untouched — their virtual metrics stay bit-for-bit
+// comparable with v4 baselines — and cmd/packdiff warns-and-skips the
+// new fields when the older file lacks them. v1–v4 files still parse;
+// v4 consumers that ignore unknown keys still parse v5.
+const PerfSchema = "packbench-perf/v5"
 
 // Environment is the perf report's measurement-environment record: the
 // host fingerprint plus the knobs of this run that move wall-clock
@@ -84,6 +94,10 @@ type PerfReport struct {
 	Env         *Environment     `json:"env,omitempty"`
 	Experiments []ExperimentPerf `json:"experiments"`
 	Total       ExperimentPerf   `json:"total"`
+	// PlanRepeat is the plan-cache wall-clock amortization measurement
+	// (schema v5), attached when the run included the planrepeat
+	// experiment; nil otherwise and in older files.
+	PlanRepeat *PlanRepeatPerf `json:"plan_repeat,omitempty"`
 }
 
 // WallStats holds the robust aggregates of a row's repeated wall-clock

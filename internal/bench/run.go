@@ -87,6 +87,9 @@ type Metrics struct {
 	// counters over all processors; nil when the run had no fault plan
 	// (so fault-free reports keep their exact shape).
 	FaultStats *sim.FaultCounters `json:"FaultStats,omitempty"`
+	// PlanStats snapshots the run's plan-cache counters; nil unless the
+	// run was Planned (so unplanned reports keep their exact shape).
+	PlanStats *pack.PlanCacheStats `json:"PlanStats,omitempty"`
 	// Derived holds the registry metrics (metrics.go) computed for this
 	// run: load imbalance, idle fraction, per-phase comm shares, and —
 	// for traced runs — critical-path figures. Treated as read-only
@@ -156,6 +159,16 @@ type Run struct {
 	// Verify additionally checks the result against the sequential
 	// oracle (slower; used by the harness tests).
 	Verify bool
+	// Repeat executes the operation this many times inside the one
+	// measured machine (0 or 1 means once) — the repeat-traffic shape of
+	// the planrepeat experiment. Reported times cover all calls;
+	// amortized per-call figures divide by Repeat.
+	Repeat int
+	// Planned installs a fresh plan cache (pack.Options.Plans) for the
+	// run, so the first call compiles and every repeat executes the
+	// cached bulk-copy plan; Metrics.PlanStats then reports the cache
+	// counters and Derived gains plan_hit_rate.
+	Planned bool
 	// failRank is a test seam: when set, it is consulted after the
 	// operation and its non-nil error is reported as that rank's
 	// failure (exercises the any-rank first-error capture).
@@ -234,6 +247,19 @@ func (r Run) exec() (Metrics, *trace.Capture, error) {
 		size = mask.Count(r.Gen, shape...)
 	}
 
+	// Planned runs share one fresh cache across the machine's ranks and
+	// repeats: the first call per rank compiles, every repeat hits.
+	opt := r.Opt
+	var plans *pack.PlanCache
+	if r.Planned {
+		plans = pack.NewPlanCache()
+		opt.Plans = plans
+	}
+	reps := r.Repeat
+	if reps < 1 {
+		reps = 1
+	}
+
 	var firstErr firstError
 	results := make([]*pack.Result[int], r.Layout.Procs())
 	unpacked := make([]*pack.UnpackResult[int], r.Layout.Procs())
@@ -247,41 +273,43 @@ func (r Run) exec() (Metrics, *trace.Capture, error) {
 		lm := bufs.maskBuf(r.Layout, p.Rank(), r.Gen)
 		a := fillLocalData(bufs.data, p.Rank(), r.Layout.LocalSize())
 		bufs.data = a
-		var err error
-		switch r.Mode {
-		case ModePack:
-			results[p.Rank()], err = pack.Pack(p, r.Layout, a, lm, r.Opt)
-		case ModeUnpack:
-			vec, verr := dist.NewVectorDist(size, p.NProcs(), r.Opt.VectorW)
-			if verr != nil {
-				err = verr
-				break
+		for it := 0; it < reps; it++ {
+			var err error
+			switch r.Mode {
+			case ModePack:
+				results[p.Rank()], err = pack.Pack(p, r.Layout, a, lm, opt)
+			case ModeUnpack:
+				vec, verr := dist.NewVectorDist(size, p.NProcs(), opt.VectorW)
+				if verr != nil {
+					err = verr
+					break
+				}
+				v := fillLocalData(bufs.vec, p.Rank()+1000, vec.LocalLen(p.Rank()))
+				bufs.vec = v
+				unpacked[p.Rank()], err = pack.Unpack(p, r.Layout, v, size, lm, a, opt)
+			case ModeRed1:
+				results[p.Rank()], err = redist.PackRedistSelected(p, r.Layout, a, lm, opt)
+			case ModeRed2:
+				results[p.Rank()], err = redist.PackRedistWhole(p, r.Layout, a, lm, opt)
+			case ModeUnpackRedist:
+				vec, verr := dist.NewVectorDist(size, p.NProcs(), opt.VectorW)
+				if verr != nil {
+					err = verr
+					break
+				}
+				v := fillLocalData(bufs.vec, p.Rank()+1000, vec.LocalLen(p.Rank()))
+				bufs.vec = v
+				unpacked[p.Rank()], err = redist.UnpackRedistWhole(p, r.Layout, v, size, lm, a, opt)
+			default:
+				err = fmt.Errorf("bench: unknown mode %v", r.Mode)
 			}
-			v := fillLocalData(bufs.vec, p.Rank()+1000, vec.LocalLen(p.Rank()))
-			bufs.vec = v
-			unpacked[p.Rank()], err = pack.Unpack(p, r.Layout, v, size, lm, a, r.Opt)
-		case ModeRed1:
-			results[p.Rank()], err = redist.PackRedistSelected(p, r.Layout, a, lm, r.Opt)
-		case ModeRed2:
-			results[p.Rank()], err = redist.PackRedistWhole(p, r.Layout, a, lm, r.Opt)
-		case ModeUnpackRedist:
-			vec, verr := dist.NewVectorDist(size, p.NProcs(), r.Opt.VectorW)
-			if verr != nil {
-				err = verr
-				break
+			if err == nil && r.failRank != nil {
+				err = r.failRank(p.Rank())
 			}
-			v := fillLocalData(bufs.vec, p.Rank()+1000, vec.LocalLen(p.Rank()))
-			bufs.vec = v
-			unpacked[p.Rank()], err = redist.UnpackRedistWhole(p, r.Layout, v, size, lm, a, r.Opt)
-		default:
-			err = fmt.Errorf("bench: unknown mode %v", r.Mode)
-		}
-		if err == nil && r.failRank != nil {
-			err = r.failRank(p.Rank())
-		}
-		if err != nil {
-			firstErr.set(err)
-			panic(err)
+			if err != nil {
+				firstErr.set(err)
+				panic(err)
+			}
 		}
 	})
 	if err := firstErr.get(); err != nil {
@@ -292,6 +320,14 @@ func (r Run) exec() (Metrics, *trace.Capture, error) {
 	}
 
 	met := metricsFrom(machine)
+	if plans != nil {
+		// Re-derive with the cache counters in view; plan_hit_rate joins
+		// the map while every shared figure stays bit-identical, so
+		// unplanned runs keep their exact derived maps.
+		st := plans.Stats()
+		met.PlanStats = &st
+		met.Derived = ComputeDerived(Snapshot{Stats: machine.Stats(), Plan: met.PlanStats})
+	}
 	var capture *trace.Capture
 	if r.Trace {
 		capture = trace.CaptureMachine(machine)
@@ -302,7 +338,7 @@ func (r Run) exec() (Metrics, *trace.Capture, error) {
 		// Re-derive with the critical path in view; the traced map is a
 		// superset of the untraced one, so memoized figures agree either
 		// way on the shared names.
-		met.Derived = ComputeDerived(Snapshot{Stats: capture.Stats, Crit: crit})
+		met.Derived = ComputeDerived(Snapshot{Stats: capture.Stats, Crit: crit, Plan: met.PlanStats})
 	}
 	if r.Mode == ModeUnpack || r.Mode == ModeUnpackRedist {
 		met.Size = size

@@ -75,3 +75,42 @@ func TestComposeHotPathAllocations(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanComposeAllocations extends the guard to the compiled-plan
+// path: executing a plan composes from the precompiled run list into
+// two exact-sized arenas, so the per-call allocation count must stay a
+// small constant regardless of n — the warm-call cost the plan cache
+// amortizes toward.
+func TestPlanComposeAllocations(t *testing.T) {
+	const maxAllocs = 10.0
+	for _, n := range []int{1024, 8192} {
+		l := dist.MustLayout(dist.Dim{N: n, P: 4, W: 8})
+		machine := sim.MustNew(sim.Config{Procs: 4})
+		var pl *Plan
+		var proc *sim.Proc
+		err := machine.Run(func(p *sim.Proc) {
+			lm := mask.FillLocal(l, p.Rank(), mask.NewRandom(0.5, 7, n))
+			cp, err := CompilePlan(p, l, lm, Options{})
+			if err != nil {
+				panic(err)
+			}
+			if p.Rank() == 0 {
+				pl = cp
+				proc = p
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := make([]int, l.LocalSize())
+		for i := range a {
+			a[i] = i
+		}
+		got := testing.AllocsPerRun(20, func() {
+			composePlanSegs(proc, pl, a)
+		})
+		if got > maxAllocs {
+			t.Errorf("composePlanSegs(n=%d): %.0f allocs/run, want <= %.0f (plan exec must reuse the compiled runs, not rebuild them)", n, got, maxAllocs)
+		}
+	}
+}

@@ -86,6 +86,12 @@ type Options struct {
 	// SeparatePrefixReduce disables the combined prefix-reduction-sum
 	// primitive (ablation; see ranking.Options).
 	SeparatePrefixReduce bool
+	// Plans enables transparent plan caching: calls fingerprint the
+	// (layout, mask, options) configuration, compile a bulk-copy plan
+	// on the first sighting, and execute the cached plan on repeats,
+	// skipping the ranking stage entirely (see plan.go). The cache may
+	// be shared across machines; nil keeps the per-call paths.
+	Plans *PlanCache
 }
 
 func (o Options) rankingOptions(keepRecords bool) ranking.Options {
@@ -154,6 +160,9 @@ func PackVector[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, pad []T, nV
 func packImpl[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, opt Options, pad []T, nVec int) (*Result[T], error) {
 	if len(a) != l.LocalSize() || len(m) != l.LocalSize() {
 		return nil, fmt.Errorf("pack: local array %d / mask %d, layout needs %d", len(a), len(m), l.LocalSize())
+	}
+	if opt.Plans != nil {
+		return packPlanned(p, l, a, m, opt, pad, nVec)
 	}
 	rnk, err := ranking.Rank(p, l, m, opt.rankingOptions(opt.Scheme == SchemeSSS))
 	if err != nil {

@@ -48,6 +48,9 @@ func Unpack[T any](p *sim.Proc, l *dist.Layout, v []T, nPrime int, m []bool, fie
 	if opt.Scheme == SchemeCMS {
 		return nil, fmt.Errorf("unpack: the compact message scheme applies to PACK only (requests are already compact under CSS)")
 	}
+	if opt.Plans != nil {
+		return unpackPlanned(p, l, v, nPrime, m, field, opt)
+	}
 	vec, err := dist.NewVectorDist(nPrime, p.NProcs(), opt.VectorW)
 	if err != nil {
 		return nil, err
@@ -174,23 +177,7 @@ func Unpack[T any](p *sim.Proc, l *dist.Layout, v []T, nPrime int, m []bool, fie
 	p.SetPhase(prev)
 
 	// ---- Serve: slice the local vector portion per request. ----
-	replies := make([][]T, n)
-	for src, list := range gotReqs {
-		if len(list) == 0 {
-			continue
-		}
-		total := 0
-		for _, rq := range list {
-			total += rq.Count
-		}
-		out := make([]T, 0, total)
-		for _, rq := range list {
-			p.Charge(1 + rq.Count) // read request, copy data
-			_, lo := vec.Owner(rq.Base)
-			out = append(out, v[lo:lo+rq.Count]...)
-		}
-		replies[src] = out
-	}
+	replies := serveVecRequests(p, vec, v, gotReqs)
 
 	// ---- Stage 2: data back to the requesters. ----
 	prev = p.SetPhase(PhaseM2M)
@@ -224,6 +211,32 @@ func Unpack[T any](p *sim.Proc, l *dist.Layout, v []T, nPrime int, m []bool, fie
 		}
 	}
 	return res, nil
+}
+
+// serveVecRequests answers the owner side of UNPACK's two-phase
+// exchange: for every received request segment, the owner slices the
+// requested run out of its local vector portion. The planned and
+// unplanned paths share this helper, so a served request costs the
+// same (one header read plus one op per copied word) either way.
+func serveVecRequests[T any](p *sim.Proc, vec dist.VectorDist, v []T, gotReqs [][]reqSeg) [][]T {
+	replies := make([][]T, len(gotReqs))
+	for src, list := range gotReqs {
+		if len(list) == 0 {
+			continue
+		}
+		total := 0
+		for _, rq := range list {
+			total += rq.Count
+		}
+		out := make([]T, 0, total)
+		for _, rq := range list {
+			p.Charge(1 + rq.Count) // read request, copy data
+			_, lo := vec.Owner(rq.Base)
+			out = append(out, v[lo:lo+rq.Count]...)
+		}
+		replies[src] = out
+	}
+	return replies
 }
 
 // placeIntoSlice scatters data into the slice's selected positions,

@@ -1,0 +1,57 @@
+package ranking
+
+import (
+	"testing"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/mask"
+	"packunpack/internal/sim"
+)
+
+// TestIterRecordsMatchesKeptRecords pins the streaming iterator to the
+// materialized Records slice: for every rank of several layouts and
+// mask densities, IterRecords must emit exactly the records that
+// Options.KeepRecords would have stored, in the same scan order.
+func TestIterRecordsMatchesKeptRecords(t *testing.T) {
+	layouts := []*dist.Layout{
+		dist.MustLayout(dist.Dim{N: 96, P: 4, W: 1}),
+		dist.MustLayout(dist.Dim{N: 96, P: 4, W: 8}),
+		dist.MustLayout(dist.Dim{N: 105, P: 3, W: 7}),
+		dist.MustLayout(dist.Dim{N: 24, P: 2, W: 3}, dist.Dim{N: 10, P: 2, W: 5}),
+	}
+	for _, l := range layouts {
+		gens := map[string]mask.Gen{
+			"empty": mask.Empty{},
+			"full":  mask.Full{},
+			"d30":   mask.NewRandom(0.3, 11, shapes(l)...),
+			"d80":   mask.NewRandom(0.8, 12, shapes(l)...),
+		}
+		for name, gen := range gens {
+			m := sim.MustNew(sim.Config{Procs: l.Procs()})
+			err := m.Run(func(p *sim.Proc) {
+				lm := mask.FillLocal(l, p.Rank(), gen)
+				res, err := Rank(p, l, lm, Options{KeepRecords: true})
+				if err != nil {
+					panic(err)
+				}
+				var got []Record
+				res.IterRecords(l.Dims[0].L(), l.Dims[0].W, l.Dims[0].T(), lm, func(rec Record) {
+					got = append(got, rec)
+				})
+				if len(got) != len(res.Records) {
+					t.Errorf("%v/%s rank %d: iterated %d records, kept %d", l, name, p.Rank(), len(got), len(res.Records))
+					return
+				}
+				for i, rec := range got {
+					if rec != res.Records[i] {
+						t.Errorf("%v/%s rank %d: record %d = %+v, kept %+v", l, name, p.Rank(), i, rec, res.Records[i])
+						return
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", l, name, err)
+			}
+		}
+	}
+}

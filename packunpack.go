@@ -242,6 +242,45 @@ type Options = pack.Options
 // RankingResult exposes the outcome of the ranking stage.
 type RankingResult = ranking.Result
 
+// ---- Plan compilation (internal/pack) ----
+
+// Plan is a compiled PACK/UNPACK schedule for one (layout, mask,
+// options) configuration on one processor: ranking runs once at
+// compile time and every execution moves data with run-length bulk
+// copies, skipping the ranking stage entirely.
+type Plan = pack.Plan
+
+// PlanCache stores compiled plans keyed by a fingerprint of the
+// (layout, mask, options) configuration. Install one in Options.Plans
+// and the existing Pack/PackVector/Unpack (and the General variants)
+// entry points compile on first sight and reuse on repeats.
+type PlanCache = pack.PlanCache
+
+// PlanCacheStats is a snapshot of a cache's hit/miss counters.
+type PlanCacheStats = pack.PlanCacheStats
+
+// NewPlanCache returns an empty plan cache, shareable across machines.
+func NewPlanCache() *PlanCache { return pack.NewPlanCache() }
+
+// CompilePlan runs the ranking collective once and compiles a
+// bulk-copy plan for the calling processor (the explicit two-step
+// API); every processor of the machine must call it with the same
+// layout and options.
+func CompilePlan(p *Proc, l *Layout, m []bool, opt Options) (*Plan, error) {
+	return pack.CompilePlan(p, l, m, opt)
+}
+
+// PlanPack executes a compiled plan as PACK with no per-call ranking.
+func PlanPack[T any](p *Proc, pl *Plan, a []T) (*PackResult[T], error) {
+	return pack.PlanPack(p, pl, a)
+}
+
+// PlanUnpack executes a compiled plan as UNPACK against the plan's
+// vector distribution.
+func PlanUnpack[T any](p *Proc, pl *Plan, v []T, field []T) (*UnpackResult[T], error) {
+	return pack.PlanUnpack(p, pl, v, field)
+}
+
 // PackResult is the outcome of Pack on one processor.
 type PackResult[T any] = pack.Result[T]
 

@@ -5,10 +5,12 @@ package packunpack_test
 // arbitrary grids), random mask densities (including all-true and
 // all-false), every scheme, both schedulers and optional fault
 // schedules are driven through distributed PACK and UNPACK and compared
-// against the sequential reference of internal/seq. Every case is
-// reproducible from its logged seed; a failing case is auto-shrunk
-// (extents and grid halved while the failure persists) before being
-// reported.
+// against the sequential reference of internal/seq. Every case then
+// replays through the transparent plan cache (a cold compiling call
+// and a cache-hit call) and must stay byte-identical to the unplanned
+// results. Every case is reproducible from its logged seed; a failing
+// case is auto-shrunk (extents and grid halved while the failure
+// persists) before being reported.
 
 import (
 	"fmt"
@@ -169,6 +171,55 @@ func runPropCase(c propCase) error {
 	}
 	if gotUnpack := pu.GatherGeneral(layout, unpackOut); !equalInts(gotUnpack, wantUnpack) {
 		return fmt.Errorf("unpack mismatch:\n got %v\nwant %v", gotUnpack, wantUnpack)
+	}
+
+	// Replay the same case through the transparent plan cache on a
+	// fresh machine: call 1 compiles per rank (a miss), call 2 hits,
+	// and both calls must be byte-identical to the unplanned results
+	// above — under the same scheduler and fault schedule.
+	cache := pu.NewPlanCache()
+	plannedV := make([][2][]int, nprocs)
+	plannedA := make([][2][]int, nprocs)
+	pm := pu.NewMachine(pu.Config{Procs: nprocs, Params: pu.CM5Params(), Sched: c.sched, Faults: c.faults})
+	err = pm.Run(func(p *pu.Proc) {
+		for call := 0; call < 2; call++ {
+			opt := pu.Options{Scheme: c.scheme, VectorW: c.vectorW, Plans: cache}
+			res, err := pu.PackGeneral(p, layout, locals[p.Rank()], maskLocals[p.Rank()], opt)
+			if err != nil {
+				panic(err)
+			}
+			plannedV[p.Rank()][call] = res.V
+			lv := make([]int, vdist.LocalLen(p.Rank()))
+			for i := range lv {
+				lv[i] = uvec[vdist.ToGlobal(p.Rank(), i)]
+			}
+			opt.Scheme = uscheme
+			ur, err := pu.UnpackGeneral(p, layout, lv, len(want), maskLocals[p.Rank()], locals[p.Rank()], opt)
+			if err != nil {
+				panic(err)
+			}
+			plannedA[p.Rank()][call] = ur.A
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("planned machine run: %w", err)
+	}
+	for rank := 0; rank < nprocs; rank++ {
+		for call := 0; call < 2; call++ {
+			if !equalInts(plannedV[rank][call], packRes[rank].V) {
+				return fmt.Errorf("rank %d planned pack call %d diverges from unplanned:\n got %v\nwant %v",
+					rank, call, plannedV[rank][call], packRes[rank].V)
+			}
+			if !equalInts(plannedA[rank][call], unpackOut[rank]) {
+				return fmt.Errorf("rank %d planned unpack call %d diverges from unplanned:\n got %v\nwant %v",
+					rank, call, plannedA[rank][call], unpackOut[rank])
+			}
+		}
+	}
+	// Two distinct plans per rank (pack and unpack differ at least in
+	// vector length), each compiled on call 1 and hit on call 2.
+	if st := cache.Stats(); st.Misses != 2*nprocs || st.Hits != 2*nprocs {
+		return fmt.Errorf("plan cache stats %+v, want %d misses and %d hits", st, 2*nprocs, 2*nprocs)
 	}
 	return nil
 }
