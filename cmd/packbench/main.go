@@ -12,6 +12,8 @@
 //	packbench -samples 5          # repeat each replay 5x for robust wall stats
 //	packbench -exp faults -quick  # fault-injection robustness sweep (hidden from 'all')
 //	packbench -faults 42:drop=0.01,dup=0.005  # inject faults into any experiment's machines
+//	packbench -backend real       # measured wall-clock speedup on the real shared-memory backend
+//	packbench -backend real -real-gate 2.0  # fail unless P=8 speedup >= 2x (make realbench)
 //	packbench -list               # show the available experiment ids
 //
 // All reported times are virtual machine times under the two-level
@@ -34,6 +36,7 @@ import (
 
 	"packunpack/internal/bench"
 	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 func main() {
@@ -51,6 +54,8 @@ func main() {
 	samples := flag.Int("samples", 1, "wall-clock samples per experiment: repeat each warm-cache replay this many times and report median/p10/p90/MAD")
 	faultsFlag := flag.String("faults", "", "run every measured machine under a deterministic fault-injection plan, 'seed[:name=value,...]' (names: drop,dup,reorder,delay,stall,delaymax,stallmax,timeout,retries), e.g. '42:drop=0.01,dup=0.005'")
 	planGate := flag.Bool("plan-gate", false, "measure plan-cache wall-clock amortization (plan_repeat) and fail unless hit rate >= 0.99 and wall speedup >= 1.3x (make planbench)")
+	backendFlag := flag.String("backend", "sim", "transport backend: sim runs the virtual-time experiments; real runs the measured-vs-modeled speedup family (realworld) on the shared-memory parallel backend")
+	realGate := flag.Float64("real-gate", 0, "with -backend real: fail unless the measured P=8 speedup over P=1 reaches this factor (auto-skipped when the host has fewer than 8 CPUs)")
 	flag.Parse()
 
 	if *samples < 1 {
@@ -61,6 +66,15 @@ func main() {
 	sched, err := sim.ParseSched(*schedFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+		os.Exit(2)
+	}
+	backend, err := transport.ParseBackend(*backendFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+		os.Exit(2)
+	}
+	if *realGate != 0 && backend != transport.BackendReal {
+		fmt.Fprintf(os.Stderr, "packbench: -real-gate needs -backend real\n")
 		os.Exit(2)
 	}
 
@@ -82,6 +96,50 @@ func main() {
 			os.Exit(1)
 		}
 		suite.TraceDir = *traceDir
+	}
+
+	// The real backend runs the measured-speedup family and exits: its
+	// figures are host wall clock, so it shares no machinery (and no
+	// baselines) with the virtual-time sweep below.
+	if backend == transport.BackendReal {
+		if suite.Faults != nil {
+			fmt.Fprintf(os.Stderr, "packbench: fault injection is sim-only; drop -faults or use -backend sim\n")
+			os.Exit(2)
+		}
+		fmt.Printf("packbench: realworld (quick=%v, seed=%d, backend=real)\n", *quick, *seed)
+		fmt.Printf("env: %s\n\n", suite.Environment())
+		res, err := suite.MeasureRealWorld()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		tables := []*bench.Table{res.Table()}
+		bench.RenderAll(os.Stdout, tables)
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+				os.Exit(1)
+			}
+			bench.RenderAll(f, tables)
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *outPath)
+		}
+		if *realGate > 0 {
+			if res.HostCPUs < 8 {
+				fmt.Printf("real gate skipped: host has %d CPUs, the P=8 speedup contract needs at least 8\n", res.HostCPUs)
+				return
+			}
+			if err := res.Gate(8, *realGate); err != nil {
+				fmt.Fprintf(os.Stderr, "packbench: real gate failed: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("real gate passed: P=8 speedup >= %.2fx\n", *realGate)
+		}
+		return
 	}
 
 	if *list {

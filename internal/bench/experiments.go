@@ -664,6 +664,7 @@ func (s Suite) Registry() map[string]func() []*Table {
 		"model":      s.Model,
 		"faults":     s.FaultSweep,
 		"planrepeat": s.PlanRepeat,
+		"realworld":  s.RealWorld,
 	}
 }
 
@@ -672,7 +673,7 @@ func (s Suite) Registry() map[string]func() []*Table {
 // paper artifacts, and keeping them out preserves the bit-for-bit
 // stability of the canonical BENCH reports. They run by explicit id
 // (packbench -exp faults).
-var hiddenExperiments = map[string]bool{"faults": true}
+var hiddenExperiments = map[string]bool{"faults": true, "realworld": true}
 
 // ExperimentIDs returns the canonical registry keys in stable order.
 func (s Suite) ExperimentIDs() []string {

@@ -1,5 +1,7 @@
 // Package comm provides the communication primitives the paper's
-// algorithms are built from, layered over the sim machine emulator:
+// algorithms are built from, layered over the pluggable transport
+// (internal/transport — the sim machine emulator or the real
+// shared-memory backend):
 //
 //   - process groups (sub-communicators along one dimension of the
 //     logical processor grid),
@@ -16,7 +18,7 @@ package comm
 import (
 	"fmt"
 
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // Tag bases for the collectives. Successive calls to the same
@@ -37,7 +39,7 @@ const (
 // bound to the calling processor. Index i of the group is the group
 // rank; prefix operations accumulate in group-rank order.
 type Group struct {
-	p     *sim.Proc
+	p     transport.Endpoint
 	ranks []int
 	me    int // my index within ranks
 }
@@ -45,7 +47,7 @@ type Group struct {
 // NewGroup builds the group view for processor p. ranks lists the
 // global ranks of the members in group order and must contain
 // p.Rank() exactly once.
-func NewGroup(p *sim.Proc, ranks []int) (Group, error) {
+func NewGroup(p transport.Endpoint, ranks []int) (Group, error) {
 	me := -1
 	for i, r := range ranks {
 		if r == p.Rank() {
@@ -64,7 +66,7 @@ func NewGroup(p *sim.Proc, ranks []int) (Group, error) {
 }
 
 // World returns the group of all processors in machine order.
-func World(p *sim.Proc) Group {
+func World(p transport.Endpoint) Group {
 	ranks := make([]int, p.NProcs())
 	for i := range ranks {
 		ranks[i] = i
@@ -85,8 +87,8 @@ func (g Group) Index() int { return g.me }
 // Ranks returns the global ranks of the members in group order.
 func (g Group) Ranks() []int { return g.ranks }
 
-// Proc returns the bound processor.
-func (g Group) Proc() *sim.Proc { return g.p }
+// Proc returns the bound processor endpoint.
+func (g Group) Proc() transport.Endpoint { return g.p }
 
 // ceilLog2 returns ceil(log2(n)) for n >= 1.
 func ceilLog2(n int) int {
@@ -106,8 +108,12 @@ func ceilLog2(n int) int {
 func (g Group) Barrier() {
 	n := len(g.ranks)
 	for k, d := 0, 1; d < n; k, d = k+1, d*2 {
+		// d < n is a loop invariant, so no %n reduction of d is needed
+		// before the subtraction; the former (g.me-d%n+n)%n expression
+		// only computed the intended source because of that invariant
+		// (% binds tighter than -), not by design.
 		dst := g.ranks[(g.me+d)%n]
-		src := g.ranks[(g.me-d%n+n)%n]
+		src := g.ranks[(g.me-d+n)%n]
 		g.send(dst, tagBarrier+k, nil, 0)
 		g.recv(src, tagBarrier+k)
 	}
@@ -142,12 +148,15 @@ func (g Group) Bcast(root int, vec []int) []int {
 	}
 	// Forward to children: rel+m for each m below my receive mask.
 	// Each child gets a private copy so that receivers are free to
-	// mutate the broadcast result (the ranking algorithm does).
+	// mutate the broadcast result (the ranking algorithm does). The
+	// clone preserves nil-ness: a nil vec at the root must come back
+	// nil at every member, not as a freshly allocated empty slice
+	// ("returned to all callers for symmetry").
 	for m := mask >> 1; m >= 1; m >>= 1 {
 		childRel := rel + m
 		if childRel < n {
 			child := g.ranks[(childRel+root)%n]
-			g.send(child, tagBcast, cloneInts(vec), len(vec))
+			g.send(child, tagBcast, cloneIntsSameNil(vec), len(vec))
 		}
 	}
 	return vec
@@ -160,6 +169,16 @@ func cloneInts(v []int) []int {
 	out := make([]int, len(v))
 	copy(out, v)
 	return out
+}
+
+// cloneIntsSameNil is cloneInts except that a nil input clones to nil
+// (cloneInts allocates a non-nil empty slice, which broke Bcast's
+// symmetry contract for nil vectors).
+func cloneIntsSameNil(v []int) []int {
+	if v == nil {
+		return nil
+	}
+	return cloneInts(v)
 }
 
 // GatherV collects each member's variable-length contribution at the
@@ -175,7 +194,15 @@ func GatherV[T any](g Group, root int, contrib []T, wordsPerElem int) [][]T {
 	out := make([][]T, n)
 	for i := 0; i < n; i++ {
 		if i == root {
-			out[i] = contrib
+			// Remote rows are owned by the result (ownership of a sent
+			// buffer passes to the receiver), but the root's own row must
+			// be cloned: handing the caller's live contrib to the result
+			// would let later mutations of that buffer corrupt the
+			// gathered row, violating the no-aliasing policy of the
+			// collectives.
+			if contrib != nil {
+				out[i] = append(make([]T, 0, len(contrib)), contrib...)
+			}
 			continue
 		}
 		payload, _ := g.recv(g.ranks[i], tagGather)

@@ -2,15 +2,16 @@ package comm
 
 // This file is the reliable-delivery transport every collective in
 // this package rides on. With fault injection off (the default,
-// sim.Config.Faults == nil) the wrappers are exact pass-throughs to
-// sim.Proc.Send/Recv — not one extra word, charge, or allocation — so
-// the perf-gate contract (virtual metrics bit-for-bit against the
-// committed baseline) is untouched. With fault injection on, every
-// logical message becomes a sequence-numbered envelope sent through
-// the fault-injectable sim.Proc.TrySend and recovered on both sides:
+// Endpoint.Faults() == nil — always the case on the real backend) the
+// wrappers are exact pass-throughs to Endpoint.Send/Recv — not one
+// extra word, charge, or allocation — so the perf-gate contract
+// (virtual metrics bit-for-bit against the committed baseline) is
+// untouched. With fault injection on, every logical message becomes a
+// sequence-numbered envelope sent through the fault-injectable
+// Endpoint.TrySend and recovered on both sides:
 //
 //   - Sender: a dropped attempt costs the retransmission timeout
-//     (sim.Proc.RetryWait models the acknowledgement that never came)
+//     (Endpoint.RetryWait models the acknowledgement that never came)
 //     and is re-sent, up to the plan's MaxRetries budget; past the
 //     budget the run aborts with a sim.FaultBudgetError while the
 //     machine's FaultReport keeps the full injection/recovery tally.
@@ -35,7 +36,7 @@ package comm
 import (
 	"fmt"
 
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // envelope is the wire format of the reliable transport: the payload
@@ -74,7 +75,7 @@ type xport struct {
 	stash   map[stashKey]stashVal
 }
 
-func transport(p *sim.Proc) *xport {
+func xportOf(p transport.Endpoint) *xport {
 	slot := p.CommState()
 	if *slot == nil {
 		*slot = &xport{
@@ -97,7 +98,7 @@ func (g Group) send(dst, tag int, payload any, words int) {
 		p.Send(dst, tag, payload, words)
 		return
 	}
-	st := transport(p)
+	st := xportOf(p)
 	k := streamKey{peer: dst, tag: tag}
 	seq := st.sendSeq[k]
 	st.sendSeq[k] = seq + 1
@@ -116,13 +117,13 @@ func (g Group) send(dst, tag int, payload any, words int) {
 
 // recv returns the next in-sequence payload of the (src, tag) stream,
 // discarding duplicates and holding overtakers until their turn. With
-// fault injection off it is exactly sim.Proc.Recv.
+// fault injection off it is exactly Endpoint.Recv.
 func (g Group) recv(src, tag int) (payload any, words int) {
 	p := g.p
 	if p.Faults() == nil {
 		return p.Recv(src, tag)
 	}
-	st := transport(p)
+	st := xportOf(p)
 	k := streamKey{peer: src, tag: tag}
 	want := st.recvSeq[k]
 	for {

@@ -5,7 +5,7 @@ import (
 
 	"packunpack/internal/comm"
 	"packunpack/internal/dist"
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // Count computes the number of selected elements — the Fortran 90
@@ -13,7 +13,7 @@ import (
 // local mask scan and a single-word reduction-sum, with no
 // per-dimension base-rank arrays and no redistribution. Every
 // processor receives the global count.
-func Count(p *sim.Proc, l *dist.Layout, m []bool) (int, error) {
+func Count(p transport.Endpoint, l *dist.Layout, m []bool) (int, error) {
 	if len(m) != l.LocalSize() {
 		return 0, fmt.Errorf("pack: local mask has %d elements, layout needs %d", len(m), l.LocalSize())
 	}
@@ -32,7 +32,7 @@ func Count(p *sim.Proc, l *dist.Layout, m []bool) (int, error) {
 }
 
 // CountGeneral is Count for ragged layouts (arbitrary extents).
-func CountGeneral(p *sim.Proc, gl *dist.GeneralLayout, m []bool) (int, error) {
+func CountGeneral(p transport.Endpoint, gl *dist.GeneralLayout, m []bool) (int, error) {
 	if want := gl.LocalSizeAt(p.Rank()); len(m) != want {
 		return 0, fmt.Errorf("pack: ragged local mask has %d elements, layout needs %d", len(m), want)
 	}

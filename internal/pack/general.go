@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"packunpack/internal/dist"
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // This file lifts the paper's divisibility assumptions from PACK and
@@ -56,7 +56,7 @@ func raggedToPadded(gl *dist.GeneralLayout, padded *dist.Layout, rank int) []int
 // paper's divisibility assumptions. a and m are the processor's ragged
 // local portions (row-major over the ragged local shape,
 // dist.GeneralLayout.LocalShapeAt).
-func PackGeneral[T any](p *sim.Proc, gl *dist.GeneralLayout, a []T, m []bool, opt Options) (*Result[T], error) {
+func PackGeneral[T any](p transport.Endpoint, gl *dist.GeneralLayout, a []T, m []bool, opt Options) (*Result[T], error) {
 	padded, pa, pm, _, err := padInputs(p, gl, a, m)
 	if err != nil {
 		return nil, err
@@ -66,7 +66,7 @@ func PackGeneral[T any](p *sim.Proc, gl *dist.GeneralLayout, a []T, m []bool, op
 
 // UnpackGeneral is Unpack for ragged layouts: the result array comes
 // back in the caller's ragged local shape.
-func UnpackGeneral[T any](p *sim.Proc, gl *dist.GeneralLayout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
+func UnpackGeneral[T any](p transport.Endpoint, gl *dist.GeneralLayout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
 	padded, pf, pm, toPadded, err := padInputs(p, gl, field, m)
 	if err != nil {
 		return nil, err
@@ -87,7 +87,7 @@ func UnpackGeneral[T any](p *sim.Proc, gl *dist.GeneralLayout, v []T, nPrime int
 
 // padInputs validates sizes and builds the padded local array and mask
 // (padding masked false). It charges the padding passes.
-func padInputs[T any](p *sim.Proc, gl *dist.GeneralLayout, a []T, m []bool) (*dist.Layout, []T, []bool, []int, error) {
+func padInputs[T any](p transport.Endpoint, gl *dist.GeneralLayout, a []T, m []bool) (*dist.Layout, []T, []bool, []int, error) {
 	if p.NProcs() != gl.Procs() {
 		return nil, nil, nil, nil, fmt.Errorf("pack: machine has %d processors but layout needs %d", p.NProcs(), gl.Procs())
 	}

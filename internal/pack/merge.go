@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"packunpack/internal/dist"
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // Merge computes the Fortran 90 MERGE intrinsic over a distributed
@@ -13,7 +13,7 @@ import (
 // family — with aligned operands it needs no communication at all,
 // which makes it a useful contrast to PACK/UNPACK in the cost model
 // (one pass over the local arrays, zero messages).
-func Merge[T any](p *sim.Proc, l *dist.Layout, tsource, fsource []T, m []bool) ([]T, error) {
+func Merge[T any](p transport.Endpoint, l *dist.Layout, tsource, fsource []T, m []bool) ([]T, error) {
 	if len(tsource) != l.LocalSize() || len(fsource) != l.LocalSize() || len(m) != l.LocalSize() {
 		return nil, fmt.Errorf("pack: Merge operands %d/%d/%d, layout needs %d",
 			len(tsource), len(fsource), len(m), l.LocalSize())

@@ -32,7 +32,7 @@ import (
 	"packunpack/internal/comm"
 	"packunpack/internal/dist"
 	"packunpack/internal/ranking"
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // Scheme selects the storage/message scheme of Section 6.
@@ -140,7 +140,7 @@ type Result[T any] struct {
 // calling processor's local portions (local row-major order) of the
 // input array and the mask; every processor of the machine must call
 // Pack with the same layout and options.
-func Pack[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, opt Options) (*Result[T], error) {
+func Pack[T any](p transport.Endpoint, l *dist.Layout, a []T, m []bool, opt Options) (*Result[T], error) {
 	return packImpl(p, l, a, m, opt, nil, -1)
 }
 
@@ -150,14 +150,14 @@ func Pack[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, opt Options) (*Re
 // its first Size elements are the selected elements, and the remaining
 // positions keep the pad vector's values. nVec must be at least the
 // number of selected elements.
-func PackVector[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, pad []T, nVec int, opt Options) (*Result[T], error) {
+func PackVector[T any](p transport.Endpoint, l *dist.Layout, a []T, m []bool, pad []T, nVec int, opt Options) (*Result[T], error) {
 	if nVec < 0 {
 		return nil, fmt.Errorf("pack: negative VECTOR length %d", nVec)
 	}
 	return packImpl(p, l, a, m, opt, pad, nVec)
 }
 
-func packImpl[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, opt Options, pad []T, nVec int) (*Result[T], error) {
+func packImpl[T any](p transport.Endpoint, l *dist.Layout, a []T, m []bool, opt Options, pad []T, nVec int) (*Result[T], error) {
 	if len(a) != l.LocalSize() || len(m) != l.LocalSize() {
 		return nil, fmt.Errorf("pack: local array %d / mask %d, layout needs %d", len(a), len(m), l.LocalSize())
 	}
@@ -257,7 +257,7 @@ func carvePairArena[T any](send [][]pair[T], counts []int) {
 
 // composePairsSSS builds the per-destination (datum, rank) messages
 // from the records saved by the simple storage scheme.
-func composePairsSSS[T any](p *sim.Proc, a []T, rnk *ranking.Result, vec dist.VectorDist, send [][]pair[T]) {
+func composePairsSSS[T any](p transport.Endpoint, a []T, rnk *ranking.Result, vec dist.VectorDist, send [][]pair[T]) {
 	counts := make([]int, len(send))
 	for _, rec := range rnk.Records {
 		dst, _ := vec.Owner(rnk.RankOf(rec))
@@ -289,7 +289,7 @@ func (g sliceGeom) base(slice int) int {
 // slice, in order, to buf, charging the scan per the chosen policy:
 // stop as soon as all count elements are found (the paper's measured
 // default) or always scan the whole slice.
-func collectSlice[T any](p *sim.Proc, g sliceGeom, a []T, m []bool, slice, count int, whole bool, buf []T) []T {
+func collectSlice[T any](p transport.Endpoint, g sliceGeom, a []T, m []bool, slice, count int, whole bool, buf []T) []T {
 	base := g.base(slice)
 	found := 0
 	scanned := 0
@@ -334,7 +334,7 @@ func forEachRankRun(rnk *ranking.Result, vec dist.VectorDist, slices int, fn fun
 // composePairsCSS regenerates ranks by comparing PS_c with PS_f
 // (Section 6.1) and builds (datum, rank) messages with a second slice
 // scan; only slices with at least one selected element are scanned.
-func composePairsCSS[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, rnk *ranking.Result, vec dist.VectorDist, send [][]pair[T], whole bool) {
+func composePairsCSS[T any](p transport.Endpoint, l *dist.Layout, a []T, m []bool, rnk *ranking.Result, vec dist.VectorDist, send [][]pair[T], whole bool) {
 	g := geomOf(l)
 	counts := make([]int, len(send))
 	forEachRankRun(rnk, vec, g.slices, func(dst, cnt int) { counts[dst] += cnt })
@@ -362,7 +362,7 @@ func composePairsCSS[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, rnk *r
 // the result vector's block boundaries, and each piece travels as
 // (base rank, count, data...). The smaller the vector's blocks, the
 // more segments (Section 6.2).
-func composeSegmentsCMS[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, rnk *ranking.Result, vec dist.VectorDist, send [][]segMsg[T], whole bool) {
+func composeSegmentsCMS[T any](p transport.Endpoint, l *dist.Layout, a []T, m []bool, rnk *ranking.Result, vec dist.VectorDist, send [][]segMsg[T], whole bool) {
 	g := geomOf(l)
 	// Sizing pre-pass (uncharged host bookkeeping): per-destination
 	// segment counts carve the segment arena; the data words of all

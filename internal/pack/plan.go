@@ -32,7 +32,7 @@ import (
 	"packunpack/internal/comm"
 	"packunpack/internal/dist"
 	"packunpack/internal/ranking"
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // copyRun is one bulk move of a compiled plan: Len contiguous local
@@ -179,7 +179,7 @@ const (
 // set. The decision is probabilistic the same way the fingerprint is
 // (wrap-around sums of splitmix64 words); a collision that fakes
 // unanimity against an empty slot panics rather than desyncing.
-func planLookup(p *sim.Proc, cache *PlanCache, localFP uint64, algo comm.PRSAlgorithm) (gfp uint64, pl *Plan) {
+func planLookup(p transport.Endpoint, cache *PlanCache, localFP uint64, algo comm.PRSAlgorithm) (gfp uint64, pl *Plan) {
 	pl = cache.get(localFP, p.Rank())
 	var stored uint64
 	if pl != nil {
@@ -248,11 +248,11 @@ func forEachCopyRun(rnk *ranking.Result, g sliceGeom, m []bool, vec dist.VectorD
 // so compiling under the simple storage scheme costs the same as under
 // the compact ones. The compile walk charges one mask rescan plus
 // three words per emitted run (the run triple write).
-func CompilePlan(p *sim.Proc, l *dist.Layout, m []bool, opt Options) (*Plan, error) {
+func CompilePlan(p transport.Endpoint, l *dist.Layout, m []bool, opt Options) (*Plan, error) {
 	return compilePlan(p, l, m, opt, -1)
 }
 
-func compilePlan(p *sim.Proc, l *dist.Layout, m []bool, opt Options, vecLen int) (*Plan, error) {
+func compilePlan(p transport.Endpoint, l *dist.Layout, m []bool, opt Options, vecLen int) (*Plan, error) {
 	if len(m) != l.LocalSize() {
 		return nil, fmt.Errorf("pack: local mask %d, layout needs %d", len(m), l.LocalSize())
 	}
@@ -318,7 +318,7 @@ func compilePlan(p *sim.Proc, l *dist.Layout, m []bool, opt Options, vecLen int)
 // bulk copy per run. Each run is charged as per-run setup (the two
 // header words) plus one op per word moved — the bulk-copy charge of
 // the cost model.
-func composePlanSegs[T any](p *sim.Proc, pl *Plan, a []T) [][]segMsg[T] {
+func composePlanSegs[T any](p transport.Endpoint, pl *Plan, a []T) [][]segMsg[T] {
 	send := make([][]segMsg[T], p.NProcs())
 	if pl.totalRuns == 0 {
 		return send
@@ -349,7 +349,7 @@ func composePlanSegs[T any](p *sim.Proc, pl *Plan, a []T) [][]segMsg[T] {
 // execPackPlan executes a compiled plan as PACK: bulk-copy compose,
 // one many-to-many exchange of segment messages, bulk decode. pad is
 // only consulted for plans compiled with a VECTOR length.
-func execPackPlan[T any](p *sim.Proc, pl *Plan, a []T, pad []T) (*Result[T], error) {
+func execPackPlan[T any](p transport.Endpoint, pl *Plan, a []T, pad []T) (*Result[T], error) {
 	if len(a) != pl.layout.LocalSize() {
 		return nil, fmt.Errorf("pack: local array %d, plan's layout needs %d", len(a), pl.layout.LocalSize())
 	}
@@ -383,7 +383,7 @@ func execPackPlan[T any](p *sim.Proc, pl *Plan, a []T, pad []T) (*Result[T], err
 // unplanned path does, and the replies land with one bulk copy per run
 // (the rescan of placeIntoSlice disappears — the run already pins the
 // destination offsets).
-func execUnpackPlan[T any](p *sim.Proc, pl *Plan, v []T, field []T) (*UnpackResult[T], error) {
+func execUnpackPlan[T any](p transport.Endpoint, pl *Plan, v []T, field []T) (*UnpackResult[T], error) {
 	if pl.opt.Scheme == SchemeCMS {
 		return nil, fmt.Errorf("unpack: the compact message scheme applies to PACK only (requests are already compact under CSS)")
 	}
@@ -442,7 +442,7 @@ func execUnpackPlan[T any](p *sim.Proc, pl *Plan, v []T, field []T) (*UnpackResu
 // PlanPack executes a compiled plan as PACK (the explicit two-step
 // API: compile once with CompilePlan, execute per call with no
 // per-call ranking or cache negotiation at all).
-func PlanPack[T any](p *sim.Proc, pl *Plan, a []T) (*Result[T], error) {
+func PlanPack[T any](p transport.Endpoint, pl *Plan, a []T) (*Result[T], error) {
 	if pl.nVec >= 0 {
 		return nil, fmt.Errorf("pack: plan was compiled with a VECTOR length; execute it through PackVector's transparent cache path")
 	}
@@ -451,13 +451,13 @@ func PlanPack[T any](p *sim.Proc, pl *Plan, a []T) (*Result[T], error) {
 
 // PlanUnpack executes a compiled plan as UNPACK against the plan's
 // vector distribution (N' = the plan's vector size).
-func PlanUnpack[T any](p *sim.Proc, pl *Plan, v []T, field []T) (*UnpackResult[T], error) {
+func PlanUnpack[T any](p transport.Endpoint, pl *Plan, v []T, field []T) (*UnpackResult[T], error) {
 	return execUnpackPlan(p, pl, v, field)
 }
 
 // packPlanned is the transparent cache path of packImpl: fingerprint,
 // collective lookup, compile on a miss, bulk execute.
-func packPlanned[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, opt Options, pad []T, nVec int) (*Result[T], error) {
+func packPlanned[T any](p transport.Endpoint, l *dist.Layout, a []T, m []bool, opt Options, pad []T, nVec int) (*Result[T], error) {
 	fp := planFingerprint(l, m, opt, nVec)
 	p.Charge(len(m)/64 + 1) // mask hashing, one op per 64-element word
 	gfp, pl := planLookup(p, opt.Plans, fp, opt.PRS)
@@ -474,7 +474,7 @@ func packPlanned[T any](p *sim.Proc, l *dist.Layout, a []T, m []bool, opt Option
 }
 
 // unpackPlanned is the transparent cache path of Unpack.
-func unpackPlanned[T any](p *sim.Proc, l *dist.Layout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
+func unpackPlanned[T any](p transport.Endpoint, l *dist.Layout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
 	fp := planFingerprint(l, m, opt, nPrime)
 	p.Charge(len(m)/64 + 1) // mask hashing, one op per 64-element word
 	gfp, pl := planLookup(p, opt.Plans, fp, opt.PRS)

@@ -6,7 +6,7 @@ import (
 	"packunpack/internal/comm"
 	"packunpack/internal/dist"
 	"packunpack/internal/ranking"
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // UnpackResult is the outcome of Unpack on one processor.
@@ -41,7 +41,7 @@ type reqSeg struct {
 // its vector elements, so the redistribution stage uses two-phase
 // communication — requests travel to the vector owners, data travels
 // back (Section 4.2).
-func Unpack[T any](p *sim.Proc, l *dist.Layout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
+func Unpack[T any](p transport.Endpoint, l *dist.Layout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
 	if len(m) != l.LocalSize() || len(field) != l.LocalSize() {
 		return nil, fmt.Errorf("unpack: local mask %d / field %d, layout needs %d", len(m), len(field), l.LocalSize())
 	}
@@ -218,7 +218,7 @@ func Unpack[T any](p *sim.Proc, l *dist.Layout, v []T, nPrime int, m []bool, fie
 // requested run out of its local vector portion. The planned and
 // unplanned paths share this helper, so a served request costs the
 // same (one header read plus one op per copied word) either way.
-func serveVecRequests[T any](p *sim.Proc, vec dist.VectorDist, v []T, gotReqs [][]reqSeg) [][]T {
+func serveVecRequests[T any](p transport.Endpoint, vec dist.VectorDist, v []T, gotReqs [][]reqSeg) [][]T {
 	replies := make([][]T, len(gotReqs))
 	for src, list := range gotReqs {
 		if len(list) == 0 {
@@ -243,7 +243,7 @@ func serveVecRequests[T any](p *sim.Proc, vec dist.VectorDist, v []T, gotReqs []
 // skipping the first skip selected positions, writing count elements.
 // It returns count. The rescan mirrors the compact storage scheme's
 // collectSlice.
-func placeIntoSlice[T any](p *sim.Proc, g sliceGeom, a []T, m []bool, slice, skip, count int, data []T, whole bool) int {
+func placeIntoSlice[T any](p transport.Endpoint, g sliceGeom, a []T, m []bool, slice, skip, count int, data []T, whole bool) int {
 	base := g.base(slice)
 	seen := 0
 	written := 0

@@ -31,7 +31,7 @@ import (
 
 	"packunpack/internal/comm"
 	"packunpack/internal/dist"
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // PhasePRS is the sim phase name under which all prefix-reduction-sum
@@ -127,7 +127,7 @@ func (g geometry) size(i int) int { return g.l.Dims[i].T() * g.above[i] }
 // per-dimension communication groups: group i contains the processors
 // whose grid coordinates agree with p's everywhere except coordinate i,
 // ordered by that coordinate.
-func DimGroups(p *sim.Proc, l *dist.Layout) ([]comm.Group, error) {
+func DimGroups(p transport.Endpoint, l *dist.Layout) ([]comm.Group, error) {
 	if p.NProcs() != l.Procs() {
 		return nil, fmt.Errorf("ranking: machine has %d processors but layout needs %d", p.NProcs(), l.Procs())
 	}
@@ -154,7 +154,7 @@ func DimGroups(p *sim.Proc, l *dist.Layout) ([]comm.Group, error) {
 // local row-major order (dimension 0 fastest); its length must be the
 // layout's local size. Every processor of the machine must call Rank
 // with the same layout and options.
-func Rank(p *sim.Proc, l *dist.Layout, mask []bool, opt Options) (*Result, error) {
+func Rank(p transport.Endpoint, l *dist.Layout, mask []bool, opt Options) (*Result, error) {
 	if len(mask) != l.LocalSize() {
 		return nil, fmt.Errorf("ranking: local mask has %d elements, layout needs %d", len(mask), l.LocalSize())
 	}

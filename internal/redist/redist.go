@@ -40,7 +40,7 @@ import (
 	"packunpack/internal/comm"
 	"packunpack/internal/dist"
 	"packunpack/internal/pack"
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // PhaseRedist is the sim phase under which redistribution
@@ -57,7 +57,7 @@ const DetectOpsPerBlock = 12
 // detectionCharge books one communication detection phase against the
 // calling processor: pattern-table construction over all global source
 // blocks of every dimension.
-func detectionCharge(p *sim.Proc, src *dist.Layout) {
+func detectionCharge(p transport.Endpoint, src *dist.Layout) {
 	blocks := 0
 	for _, d := range src.Dims {
 		blocks += d.N / d.W
@@ -162,7 +162,7 @@ type Plan struct {
 // whole-array redistribution scheme: one for the elements to be sent
 // and one for those to be received (reference [7]). The returned plan
 // can move any number of conformable arrays.
-func NewPlan(p *sim.Proc, src, dst *dist.Layout) (*Plan, error) {
+func NewPlan(p transport.Endpoint, src, dst *dist.Layout) (*Plan, error) {
 	if err := sameShape(src, dst); err != nil {
 		return nil, err
 	}
@@ -198,7 +198,7 @@ func NewPlan(p *sim.Proc, src, dst *dist.Layout) (*Plan, error) {
 // Apply moves one array according to the plan: index-free messages
 // over the linear permutation schedule. It returns the local array
 // under the plan's destination layout.
-func Apply[T any](p *sim.Proc, pl *Plan, a []T) ([]T, error) {
+func Apply[T any](p transport.Endpoint, pl *Plan, a []T) ([]T, error) {
 	if len(a) != pl.src.LocalSize() {
 		return nil, fmt.Errorf("redist: local array has %d elements, source layout needs %d", len(a), pl.src.LocalSize())
 	}
@@ -239,7 +239,7 @@ func Apply[T any](p *sim.Proc, pl *Plan, a []T) ([]T, error) {
 // scheme: a fresh two-phase communication detection followed by one
 // Apply. Use NewPlan/Apply directly to amortize detection over several
 // arrays.
-func Redistribute[T any](p *sim.Proc, src, dst *dist.Layout, a []T) ([]T, error) {
+func Redistribute[T any](p transport.Endpoint, src, dst *dist.Layout, a []T) ([]T, error) {
 	pl, err := NewPlan(p, src, dst)
 	if err != nil {
 		return nil, err
@@ -263,7 +263,7 @@ type indexed[T any] struct {
 // Only the send side needs communication detection (the messages carry
 // the combined global indices), so the scheme pays one detection phase
 // where the whole-array scheme pays two.
-func RedistributeSelected[T any](p *sim.Proc, src, dst *dist.Layout, a []T, m []bool) ([]T, []bool, error) {
+func RedistributeSelected[T any](p transport.Endpoint, src, dst *dist.Layout, a []T, m []bool) ([]T, []bool, error) {
 	if err := sameShape(src, dst); err != nil {
 		return nil, nil, err
 	}
@@ -317,7 +317,7 @@ func RedistributeSelected[T any](p *sim.Proc, src, dst *dist.Layout, a []T, m []
 // PackRedistSelected is the paper's Red.1 pipeline: redistribute the
 // selected data to the block layout, then PACK with the compact message
 // scheme. opt.Scheme is ignored (CMS is used, as in Table II).
-func PackRedistSelected[T any](p *sim.Proc, src *dist.Layout, a []T, m []bool, opt pack.Options) (*pack.Result[T], error) {
+func PackRedistSelected[T any](p transport.Endpoint, src *dist.Layout, a []T, m []bool, opt pack.Options) (*pack.Result[T], error) {
 	dst := BlockLayout(src)
 	ta, tm, err := RedistributeSelected(p, src, dst, a, m)
 	if err != nil {
@@ -331,7 +331,7 @@ func PackRedistSelected[T any](p *sim.Proc, src *dist.Layout, a []T, m []bool, o
 // input array and mask array to the block layout (one shared
 // communication detection, two applications), then PACK with the
 // compact message scheme. opt.Scheme is ignored (CMS is used).
-func PackRedistWhole[T any](p *sim.Proc, src *dist.Layout, a []T, m []bool, opt pack.Options) (*pack.Result[T], error) {
+func PackRedistWhole[T any](p transport.Endpoint, src *dist.Layout, a []T, m []bool, opt pack.Options) (*pack.Result[T], error) {
 	dst := BlockLayout(src)
 	pl, err := NewPlan(p, src, dst)
 	if err != nil {

@@ -3,7 +3,7 @@ package redist
 import (
 	"packunpack/internal/dist"
 	"packunpack/internal/pack"
-	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // UnpackRedistWhole applies the Section 6.3 redistribution idea to
@@ -16,7 +16,7 @@ import (
 // The implementation exists so the claim can be measured (see the
 // ablation benchmarks): it is correct, it is just expected to lose to
 // plain UNPACK on the cyclic layout.
-func UnpackRedistWhole[T any](p *sim.Proc, src *dist.Layout, v []T, nPrime int, m []bool, field []T, opt pack.Options) (*pack.UnpackResult[T], error) {
+func UnpackRedistWhole[T any](p transport.Endpoint, src *dist.Layout, v []T, nPrime int, m []bool, field []T, opt pack.Options) (*pack.UnpackResult[T], error) {
 	dst := BlockLayout(src)
 
 	// Step 1: mask and field to the block layout (one shared

@@ -1,0 +1,447 @@
+package transport
+
+// This file is the real shared-memory parallel backend (BackendReal):
+// the P processor bodies of an SPMD run execute as host goroutines —
+// locked to OS threads when the host has at least P cores, which is as
+// close to core pinning as the Go runtime allows — and exchange
+// messages through unbounded lock-free SPSC queues, one per ordered
+// processor pair (spsc.go). Nothing is virtual: Charge only counts,
+// Clock reads the wall, and Machine.Elapsed is the measured run time
+// the realworld speedup curves are built from.
+//
+// Message semantics mirror the emulator exactly — eager non-blocking
+// sends, FIFO per (source, destination, tag) stream, tag-matched
+// receives with out-of-tag-order messages parked at the receiver — so
+// any algorithm written against transport.Endpoint produces
+// byte-identical results on both backends (pinned by the cross-backend
+// conformance suite). What does NOT carry over is the model-side
+// instrumentation: virtual clocks, phase cost attribution, event
+// tracing, and fault injection are emulator devices (they need an
+// omniscient network), so Faults() is always nil here and the reliable
+// transport's fault path never engages.
+//
+// Deadlock handling is heuristic, like the emulator's goroutine mode:
+// a watchdog samples a global progress counter, and when every live
+// processor has been parked in Recv with no delivery for several
+// consecutive scans, the run is declared wedged and every waiter is
+// unwound with a diagnostic instead of hanging the process. A panic in
+// one body likewise unwinds the peers through the same abort channel.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"packunpack/internal/sim"
+)
+
+// RealConfig describes a real shared-memory machine.
+type RealConfig struct {
+	// Procs is the number of logical processors, P >= 1. Values above
+	// the host's core count are allowed (the Go scheduler multiplexes);
+	// speedup then flattens, which is itself a measurement.
+	Procs int
+	// Params are the cost-model constants. The real backend never
+	// charges them, but algorithm selection rules (the PRS auto rule)
+	// read them, so configuring the same constants as the sim oracle
+	// keeps both backends taking identical decisions.
+	Params sim.Params
+	// NoPin disables locking processor goroutines to OS threads even
+	// when the host has enough cores.
+	NoPin bool
+}
+
+// RealMachine is a Machine whose processors run genuinely in parallel
+// on the host.
+type RealMachine struct {
+	cfg    RealConfig
+	queues [][]*spscQueue // queues[src][dst]
+
+	running atomic.Bool
+
+	// Abort/watchdog state, reset per run.
+	aborted  chan struct{}
+	abortErr atomic.Pointer[realDeadlockError]
+	progress atomic.Uint64 // bumped on every put and successful poll
+	blocked  atomic.Int64  // processors currently parked in Recv
+	finished atomic.Int64  // processors whose body returned
+	runStart time.Time
+
+	mu      sync.Mutex
+	stats   []sim.Stats
+	elapsed time.Duration
+}
+
+// realDeadlockError unwinds a processor when the watchdog declares the
+// machine wedged (or a peer panicked first).
+type realDeadlockError struct {
+	rank, src, tag int
+	peerPanic      bool
+}
+
+func (e *realDeadlockError) Error() string {
+	if e.peerPanic {
+		return fmt.Sprintf("transport: processor %d unwound from Recv(src=%d, tag=%d) after a peer failed", e.rank, e.src, e.tag)
+	}
+	return fmt.Sprintf("transport: deadlock: processor %d waiting for a message from %d with tag %d that never arrives", e.rank, e.src, e.tag)
+}
+
+// NewReal builds a real shared-memory machine.
+func NewReal(cfg RealConfig) (*RealMachine, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("transport: Procs must be >= 1, got %d", cfg.Procs)
+	}
+	if cfg.Params.Tau < 0 || cfg.Params.Mu < 0 || cfg.Params.Delta < 0 {
+		return nil, fmt.Errorf("transport: negative cost parameters %+v", cfg.Params)
+	}
+	m := &RealMachine{cfg: cfg, queues: make([][]*spscQueue, cfg.Procs)}
+	for s := range m.queues {
+		m.queues[s] = make([]*spscQueue, cfg.Procs)
+		for d := range m.queues[s] {
+			m.queues[s][d] = newSpscQueue()
+		}
+	}
+	return m, nil
+}
+
+// MustNewReal is NewReal for configurations known to be valid.
+func MustNewReal(cfg RealConfig) *RealMachine {
+	m, err := NewReal(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *RealMachine) Procs() int         { return m.cfg.Procs }
+func (m *RealMachine) Params() sim.Params { return m.cfg.Params }
+func (m *RealMachine) Backend() Backend   { return BackendReal }
+
+// Run executes body once per processor, each on its own goroutine, and
+// blocks until every processor finishes. Like the emulator it may be
+// called repeatedly (queues are reused) but not concurrently.
+func (m *RealMachine) Run(body func(Endpoint)) error {
+	if !m.running.CompareAndSwap(false, true) {
+		return fmt.Errorf("transport: RealMachine.Run called concurrently on the same machine")
+	}
+	defer m.running.Store(false)
+
+	n := m.cfg.Procs
+	m.aborted = make(chan struct{})
+	m.abortErr.Store(nil)
+	m.progress.Store(0)
+	m.blocked.Store(0)
+	m.finished.Store(0)
+	pin := !m.cfg.NoPin && n <= runtime.NumCPU()
+
+	procs := make([]*realProc, n)
+	for i := range procs {
+		in := make([]*spscQueue, n)
+		for s := 0; s < n; s++ {
+			in[s] = m.queues[s][i]
+		}
+		procs[i] = &realProc{
+			rank: i, m: m, in: in,
+			pending: make([][]rmsg, n),
+			phase:   "default",
+			stats:   sim.Stats{Rank: i, Phases: make(map[string]sim.PhaseStats)},
+		}
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	m.runStart = time.Now()
+	stopWatch := make(chan struct{})
+	go m.watchdog(stopWatch)
+	for i := range procs {
+		go func(p *realProc) {
+			defer wg.Done()
+			defer m.finished.Add(1)
+			defer func() {
+				if r := recover(); r != nil {
+					errs[p.rank] = recoverRealErr(p.rank, r)
+					m.abort(true)
+				}
+				p.stats.Clock = p.clockNow()
+			}()
+			if pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			body(p)
+		}(procs[i])
+	}
+	wg.Wait()
+	close(stopWatch)
+	elapsed := time.Since(m.runStart)
+
+	m.mu.Lock()
+	m.elapsed = elapsed
+	m.stats = make([]sim.Stats, n)
+	for i, p := range procs {
+		m.stats[i] = p.stats
+	}
+	m.mu.Unlock()
+
+	var primary, unwinds []error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var de *realDeadlockError
+		if errors.As(err, &de) {
+			unwinds = append(unwinds, err)
+		} else {
+			primary = append(primary, err)
+		}
+	}
+	switch {
+	case len(primary) > 0:
+		return errors.Join(primary...)
+	case len(unwinds) > 0:
+		return errors.Join(unwinds...)
+	}
+	leftover := 0
+	for _, row := range m.queues {
+		for _, q := range row {
+			leftover += q.drainCount()
+		}
+	}
+	for _, p := range procs {
+		for _, stash := range p.pending {
+			leftover += len(stash)
+		}
+	}
+	if leftover != 0 {
+		return fmt.Errorf("transport: run finished with %d undelivered messages", leftover)
+	}
+	return nil
+}
+
+// recoverRealErr converts a recovered panic value into a per-rank
+// error, preserving unwind identity so Run can prefer root causes.
+func recoverRealErr(rank int, r any) error {
+	if de, ok := r.(*realDeadlockError); ok {
+		return de
+	}
+	return fmt.Errorf("transport: processor %d panicked: %v", rank, r)
+}
+
+// abort wakes every parked receiver so the run can unwind instead of
+// hanging; peerPanic records why.
+func (m *RealMachine) abort(peerPanic bool) {
+	e := &realDeadlockError{peerPanic: peerPanic}
+	if m.abortErr.CompareAndSwap(nil, e) {
+		close(m.aborted)
+	}
+}
+
+// watchdog declares the machine wedged when every live processor has
+// been parked in Recv with zero message traffic across several
+// consecutive scans. Heuristic by design (like the emulator's
+// goroutine-mode monitor): a notify token can be in flight during one
+// scan, but not across 50 ms of total stillness.
+func (m *RealMachine) watchdog(stop chan struct{}) {
+	const scans = 5
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	stable := 0
+	var lastProgress uint64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			prog := m.progress.Load()
+			blocked, done := m.blocked.Load(), m.finished.Load()
+			if blocked > 0 && blocked+done == int64(m.cfg.Procs) && prog == lastProgress {
+				stable++
+				if stable >= scans {
+					m.abort(false)
+					return
+				}
+			} else {
+				stable = 0
+			}
+			lastProgress = prog
+		}
+	}
+}
+
+// Stats returns the per-processor statistics of the most recent Run
+// (deep copies; the real backend fills the counters and wall clocks).
+func (m *RealMachine) Stats() []sim.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]sim.Stats, len(m.stats))
+	for i, s := range m.stats {
+		phases := make(map[string]sim.PhaseStats, len(s.Phases))
+		for name, ph := range s.Phases {
+			phases[name] = ph
+		}
+		s.Phases = phases
+		out[i] = s
+	}
+	return out
+}
+
+// MaxClock returns the largest per-processor wall clock of the most
+// recent Run in microseconds.
+func (m *RealMachine) MaxClock() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max float64
+	for _, s := range m.stats {
+		if s.Clock > max {
+			max = s.Clock
+		}
+	}
+	return max
+}
+
+// Elapsed returns the wall-clock duration of the most recent Run.
+func (m *RealMachine) Elapsed() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.elapsed
+}
+
+// realProc is one processor of a real run. Only its own goroutine
+// touches it.
+type realProc struct {
+	rank    int
+	m       *RealMachine
+	in      []*spscQueue // in[src] delivers src -> me
+	pending [][]rmsg     // per-src stash of tag-mismatched arrivals
+	phase   string
+	stats   sim.Stats
+	comm    any
+}
+
+func (p *realProc) Rank() int          { return p.rank }
+func (p *realProc) NProcs() int        { return p.m.cfg.Procs }
+func (p *realProc) Params() sim.Params { return p.m.cfg.Params }
+
+// clockNow is wall time since the run started, in microseconds.
+func (p *realProc) clockNow() float64 {
+	return float64(time.Since(p.m.runStart)) / float64(time.Microsecond)
+}
+
+func (p *realProc) Clock() float64 { return p.clockNow() }
+
+func (p *realProc) SetPhase(name string) (previous string) {
+	previous = p.phase
+	p.phase = name
+	return previous
+}
+
+// Charge counts the ops; real work takes real time, so nothing else
+// moves.
+func (p *realProc) Charge(ops int) {
+	if ops > 0 {
+		p.stats.Ops += int64(ops)
+	}
+}
+
+func (p *realProc) Send(dst, tag int, payload any, words int) {
+	if dst < 0 || dst >= p.m.cfg.Procs {
+		panic(fmt.Sprintf("transport: Send to invalid rank %d (P=%d)", dst, p.m.cfg.Procs))
+	}
+	if words < 0 {
+		panic("transport: Send with negative word count")
+	}
+	p.stats.MsgsSent++
+	p.stats.WordsSent += int64(words)
+	p.m.queues[p.rank][dst].put(rmsg{tag: tag, payload: payload, words: words})
+	p.m.progress.Add(1)
+}
+
+func (p *realProc) SendFree(dst, tag int, payload any) {
+	if dst < 0 || dst >= p.m.cfg.Procs {
+		panic(fmt.Sprintf("transport: SendFree to invalid rank %d (P=%d)", dst, p.m.cfg.Procs))
+	}
+	p.m.queues[p.rank][dst].put(rmsg{tag: tag, payload: payload, free: true})
+	p.m.progress.Add(1)
+}
+
+// Recv blocks until a message with the given source and tag arrives.
+// Tag-mismatched messages that arrive first are parked per source, so
+// streams with different tags from one peer can be consumed in any
+// order (matching the emulator's mailbox scan).
+func (p *realProc) Recv(src, tag int) (payload any, words int) {
+	if src < 0 || src >= p.m.cfg.Procs {
+		panic(fmt.Sprintf("transport: Recv from invalid rank %d (P=%d)", src, p.m.cfg.Procs))
+	}
+	stash := p.pending[src]
+	for i, m := range stash {
+		if m.tag == tag {
+			p.pending[src] = append(stash[:i], stash[i+1:]...)
+			return m.payload, m.words
+		}
+	}
+	q := p.in[src]
+	for {
+		m, ok := q.poll()
+		if !ok {
+			p.m.blocked.Add(1)
+			select {
+			case <-q.notify:
+			case <-p.m.aborted:
+				p.m.blocked.Add(-1)
+				e := p.m.abortErr.Load()
+				panic(&realDeadlockError{rank: p.rank, src: src, tag: tag, peerPanic: e != nil && e.peerPanic})
+			}
+			p.m.blocked.Add(-1)
+			continue
+		}
+		p.m.progress.Add(1)
+		if m.tag == tag {
+			return m.payload, m.words
+		}
+		p.pending[src] = append(p.pending[src], m)
+	}
+}
+
+func (p *realProc) SendInts(dst, tag int, v []int) { p.Send(dst, tag, v, len(v)) }
+
+func (p *realProc) RecvInts(src, tag int) []int {
+	payload, _ := p.Recv(src, tag)
+	if payload == nil {
+		return nil
+	}
+	return payload.([]int)
+}
+
+// TrySend is Send: the real network is not under our control, so there
+// is no injected failure to report.
+func (p *realProc) TrySend(dst, tag int, payload any, words int) bool {
+	p.Send(dst, tag, payload, words)
+	return true
+}
+
+// Faults is always nil: fault injection is an emulator modelling
+// device (DESIGN.md §13), so the reliable transport's recovery path
+// never engages on the real backend.
+func (p *realProc) Faults() *sim.FaultConfig { return nil }
+
+func (p *realProc) RetryWait(dst, tag int) {
+	panic("transport: RetryWait without a fault plan (fault injection is sim-only)")
+}
+
+func (p *realProc) FaultGiveUp(dst, tag, attempts int) {
+	panic("transport: FaultGiveUp without a fault plan (fault injection is sim-only)")
+}
+
+func (p *realProc) NoteDedup(src, tag int) {
+	panic("transport: NoteDedup without a fault plan (fault injection is sim-only)")
+}
+
+func (p *realProc) NoteStash(src, tag int) {
+	panic("transport: NoteStash without a fault plan (fault injection is sim-only)")
+}
+
+func (p *realProc) CommState() *any { return &p.comm }

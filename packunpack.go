@@ -45,6 +45,7 @@ import (
 	"packunpack/internal/redist"
 	"packunpack/internal/seq"
 	"packunpack/internal/sim"
+	"packunpack/internal/transport"
 )
 
 // ---- Machine (internal/sim) ----
@@ -60,8 +61,50 @@ type Config = sim.Config
 // Machine is an emulated coarse-grained parallel machine.
 type Machine = sim.Machine
 
-// Proc is one logical processor inside a Machine.Run.
+// Proc is one logical processor inside a (sim-backend) Machine.Run.
 type Proc = sim.Proc
+
+// Endpoint is the backend-independent per-processor transport handle
+// every operation takes: *Proc (the emulator) satisfies it, and so do
+// the real backend's processors. SPMD bodies written against Endpoint
+// run unchanged on either backend.
+type Endpoint = transport.Endpoint
+
+// Backend selects a transport implementation: BackendSim is the
+// virtual-clock emulator (deterministic, traceable, fault-injectable —
+// the byte-exact oracle), BackendReal runs the P processor bodies
+// genuinely in parallel on host cores with real wall-clock timing.
+type Backend = transport.Backend
+
+const (
+	// BackendSim is the internal/sim emulator.
+	BackendSim = transport.BackendSim
+	// BackendReal is the shared-memory parallel backend.
+	BackendReal = transport.BackendReal
+)
+
+// ParallelMachine is the backend-independent machine interface: Run an
+// SPMD body, then read Stats/MaxClock/Elapsed. Both backends implement
+// it.
+type ParallelMachine = transport.Machine
+
+// RealConfig describes a real shared-memory machine (BackendReal).
+type RealConfig = transport.RealConfig
+
+// ParseBackend maps the packbench -backend flag values to a Backend.
+func ParseBackend(s string) (Backend, error) { return transport.ParseBackend(s) }
+
+// NewBackendMachine builds a machine of the requested backend from one
+// Config. The sim backend honours every field; the real backend uses
+// Procs and Params and rejects sim-only subsystems (faults, tracing).
+func NewBackendMachine(b Backend, cfg Config) (ParallelMachine, error) {
+	return transport.New(b, cfg)
+}
+
+// NewRealMachine builds a real shared-memory parallel machine.
+func NewRealMachine(cfg RealConfig) (*transport.RealMachine, error) {
+	return transport.NewReal(cfg)
+}
 
 // Stats summarises one processor's activity after a run.
 type Stats = sim.Stats
@@ -266,18 +309,18 @@ func NewPlanCache() *PlanCache { return pack.NewPlanCache() }
 // bulk-copy plan for the calling processor (the explicit two-step
 // API); every processor of the machine must call it with the same
 // layout and options.
-func CompilePlan(p *Proc, l *Layout, m []bool, opt Options) (*Plan, error) {
+func CompilePlan(p Endpoint, l *Layout, m []bool, opt Options) (*Plan, error) {
 	return pack.CompilePlan(p, l, m, opt)
 }
 
 // PlanPack executes a compiled plan as PACK with no per-call ranking.
-func PlanPack[T any](p *Proc, pl *Plan, a []T) (*PackResult[T], error) {
+func PlanPack[T any](p Endpoint, pl *Plan, a []T) (*PackResult[T], error) {
 	return pack.PlanPack(p, pl, a)
 }
 
 // PlanUnpack executes a compiled plan as UNPACK against the plan's
 // vector distribution.
-func PlanUnpack[T any](p *Proc, pl *Plan, v []T, field []T) (*UnpackResult[T], error) {
+func PlanUnpack[T any](p Endpoint, pl *Plan, v []T, field []T) (*UnpackResult[T], error) {
 	return pack.PlanUnpack(p, pl, v, field)
 }
 
@@ -293,7 +336,7 @@ type UnpackResult[T any] = pack.UnpackResult[T]
 // block-distributed result vector. It must be called by every
 // processor of the machine with the same layout and options; a and m
 // are the caller's local array and mask portions.
-func Pack[T any](p *Proc, l *Layout, a []T, m []bool, opt Options) (*PackResult[T], error) {
+func Pack[T any](p Endpoint, l *Layout, a []T, m []bool, opt Options) (*PackResult[T], error) {
 	return pack.Pack(p, l, a, m, opt)
 }
 
@@ -302,7 +345,7 @@ func Pack[T any](p *Proc, l *Layout, a []T, m []bool, opt Options) (*PackResult[
 // selected count) and keeps the pad values beyond the packed elements.
 // pad is the caller's local portion of the pad vector under the result
 // distribution.
-func PackVector[T any](p *Proc, l *Layout, a []T, m []bool, pad []T, nVec int, opt Options) (*PackResult[T], error) {
+func PackVector[T any](p Endpoint, l *Layout, a []T, m []bool, pad []T, nVec int, opt Options) (*PackResult[T], error) {
 	return pack.PackVector(p, l, a, m, pad, nVec, opt)
 }
 
@@ -310,60 +353,60 @@ func PackVector[T any](p *Proc, l *Layout, a []T, m []bool, pad []T, nVec int, o
 // global length nPrime >= number of selected elements) into a new
 // array under the mask; unselected positions take the field array
 // value.
-func Unpack[T any](p *Proc, l *Layout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
+func Unpack[T any](p Endpoint, l *Layout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
 	return pack.Unpack(p, l, v, nPrime, m, field, opt)
 }
 
 // PackGeneral is Pack for arrays with arbitrary (non-divisible)
 // extents; a and m are the caller's ragged local portions.
-func PackGeneral[T any](p *Proc, l *GeneralLayout, a []T, m []bool, opt Options) (*PackResult[T], error) {
+func PackGeneral[T any](p Endpoint, l *GeneralLayout, a []T, m []bool, opt Options) (*PackResult[T], error) {
 	return pack.PackGeneral(p, l, a, m, opt)
 }
 
 // UnpackGeneral is Unpack for arrays with arbitrary extents.
-func UnpackGeneral[T any](p *Proc, l *GeneralLayout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
+func UnpackGeneral[T any](p Endpoint, l *GeneralLayout, v []T, nPrime int, m []bool, field []T, opt Options) (*UnpackResult[T], error) {
 	return pack.UnpackGeneral(p, l, v, nPrime, m, field, opt)
 }
 
 // Rank runs only the ranking stage (Section 5): it computes the global
 // rank information of the selected elements without moving any data.
-func Rank(p *Proc, l *Layout, m []bool, keepRecords bool) (*RankingResult, error) {
+func Rank(p Endpoint, l *Layout, m []bool, keepRecords bool) (*RankingResult, error) {
 	return ranking.Rank(p, l, m, ranking.Options{KeepRecords: keepRecords})
 }
 
 // Count computes the number of selected elements — the Fortran 90
 // COUNT intrinsic (one local scan plus a single-word reduction; far
 // cheaper than a full ranking).
-func Count(p *Proc, l *Layout, m []bool) (int, error) { return pack.Count(p, l, m) }
+func Count(p Endpoint, l *Layout, m []bool) (int, error) { return pack.Count(p, l, m) }
 
 // Merge computes the Fortran 90 MERGE intrinsic (elementwise masked
 // selection between two aligned arrays); it is purely local.
-func Merge[T any](p *Proc, l *Layout, tsource, fsource []T, m []bool) ([]T, error) {
+func Merge[T any](p Endpoint, l *Layout, tsource, fsource []T, m []bool) ([]T, error) {
 	return pack.Merge(p, l, tsource, fsource, m)
 }
 
 // CountGeneral is Count for ragged layouts.
-func CountGeneral(p *Proc, l *GeneralLayout, m []bool) (int, error) {
+func CountGeneral(p Endpoint, l *GeneralLayout, m []bool) (int, error) {
 	return pack.CountGeneral(p, l, m)
 }
 
 // PackRedistSelected is the paper's Red.1 pipeline for cyclically
 // distributed inputs: redistribute only the selected elements to the
 // block layout, then PACK with the compact message scheme.
-func PackRedistSelected[T any](p *Proc, l *Layout, a []T, m []bool, opt Options) (*PackResult[T], error) {
+func PackRedistSelected[T any](p Endpoint, l *Layout, a []T, m []bool, opt Options) (*PackResult[T], error) {
 	return redist.PackRedistSelected(p, l, a, m, opt)
 }
 
 // PackRedistWhole is the paper's Red.2 pipeline: redistribute the
 // whole array and mask to the block layout (two-phase communication
 // detection), then PACK with the compact message scheme.
-func PackRedistWhole[T any](p *Proc, l *Layout, a []T, m []bool, opt Options) (*PackResult[T], error) {
+func PackRedistWhole[T any](p Endpoint, l *Layout, a []T, m []bool, opt Options) (*PackResult[T], error) {
 	return redist.PackRedistWhole(p, l, a, m, opt)
 }
 
 // Redistribute moves a distributed array between two block-cyclic
 // layouts with the same shape and grid.
-func Redistribute[T any](p *Proc, src, dst *Layout, a []T) ([]T, error) {
+func Redistribute[T any](p Endpoint, src, dst *Layout, a []T) ([]T, error) {
 	return redist.Redistribute(p, src, dst, a)
 }
 
