@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate planbench realbench real-race fuzz-short fault-race ci
+.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate planbench realbench real-race fuzz-short fault-race metricscheck ci
 
 all: build
 
@@ -48,7 +48,7 @@ smoke-trace:
 # failure, and jsoncheck re-verifies from a separate process).
 validate-perf:
 	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 2 -json /tmp/packbench-perf.json >/dev/null
-	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-perf.json schema=packbench-perf/v5
+	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-perf.json schema=packbench-perf/v6
 
 # perfgate is the CI perf-regression gate: re-run the full quick sweep
 # and diff it against the committed baseline with cmd/packdiff. Virtual
@@ -61,7 +61,7 @@ validate-perf:
 # only between serial runs (worker completion order perturbs float
 # accumulation; see DESIGN.md §10). -samples 5 gives each row robust
 # wall statistics.
-PERFGATE_BASELINE ?= BENCH_pr6.json
+PERFGATE_BASELINE ?= BENCH_pr8.json
 PERFGATE_OUT      ?= /tmp/packbench-perfgate.json
 PERFGATE_DELTA    ?= /tmp/packdiff-delta.md
 perfgate:
@@ -105,11 +105,24 @@ fuzz-short:
 	$(GO) test ./internal/dist -run '^$$' -fuzz '^FuzzDimRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dist -run '^$$' -fuzz '^FuzzVectorDist$$' -fuzztime $(FUZZTIME)
 
-# fault-race runs the fault-injection, property-differential and
-# shared-plan-cache suites under the race detector. `make race` already
-# covers them; this target exists to re-run just that surface quickly
-# while iterating.
+# fault-race runs the fault-injection, property-differential,
+# shared-plan-cache and telemetry suites under the race detector. `make
+# race` already covers them; this target exists to re-run just that
+# surface quickly while iterating. (The Metrics pattern pulls in the
+# sharded counter/histogram hammer and merge-determinism tests.)
 fault-race:
-	$(GO) test -race -run 'Fault|Property|PlanCache' ./...
+	$(GO) test -race -run 'Fault|Property|PlanCache|Metrics' ./...
 
-ci: vet staticcheck build race real-race smoke smoke-trace validate-perf perfgate planbench realbench
+# metricscheck proves the telemetry layer end to end: the metrics
+# package's own suite (golden Prometheus exposition, nil fast path,
+# race hammer), a v6 perf report from the real backend validated by
+# jsoncheck, and a wall-clock Chrome trace of the real backend that
+# parses as trace-event JSON.
+metricscheck:
+	$(GO) test ./internal/metrics/
+	$(GO) run ./cmd/packbench -backend real -quick -seed 1 -json /tmp/packbench-real-perf.json >/dev/null
+	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-real-perf.json schema=packbench-perf/v6
+	$(GO) run ./cmd/packtrace -backend real -shape 4096 -dist "CYCLIC(4) ONTO 8" -format chrome -o /tmp/packtrace-real.json
+	$(GO) run ./internal/tools/jsoncheck /tmp/packtrace-real.json traceEvents
+
+ci: vet staticcheck build race real-race smoke smoke-trace validate-perf perfgate planbench realbench metricscheck

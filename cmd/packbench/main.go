@@ -14,6 +14,9 @@
 //	packbench -faults 42:drop=0.01,dup=0.005  # inject faults into any experiment's machines
 //	packbench -backend real       # measured wall-clock speedup on the real shared-memory backend
 //	packbench -backend real -real-gate 2.0  # fail unless P=8 speedup >= 2x (make realbench)
+//	packbench -backend real -json perf.json # v6 report with the real_world telemetry curve
+//	packbench -metrics            # attach telemetry to every machine; print the Prometheus exposition
+//	packbench -metrics-addr :9100 # additionally serve it live (/metrics, /vars) while running
 //	packbench -list               # show the available experiment ids
 //
 // All reported times are virtual machine times under the two-level
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"packunpack/internal/bench"
+	"packunpack/internal/metrics"
 	"packunpack/internal/sim"
 	"packunpack/internal/transport"
 )
@@ -56,6 +60,8 @@ func main() {
 	planGate := flag.Bool("plan-gate", false, "measure plan-cache wall-clock amortization (plan_repeat) and fail unless hit rate >= 0.99 and wall speedup >= 1.3x (make planbench)")
 	backendFlag := flag.String("backend", "sim", "transport backend: sim runs the virtual-time experiments; real runs the measured-vs-modeled speedup family (realworld) on the shared-memory parallel backend")
 	realGate := flag.Float64("real-gate", 0, "with -backend real: fail unless the measured P=8 speedup over P=1 reaches this factor (auto-skipped when the host has fewer than 8 CPUs)")
+	metricsFlag := flag.Bool("metrics", false, "attach a wall-clock telemetry registry to every measured machine and print the Prometheus exposition after the tables (tables and virtual times are unaffected)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the telemetry registry live over HTTP at this address (/metrics Prometheus text, /vars expvar JSON); implies -metrics")
 	flag.Parse()
 
 	if *samples < 1 {
@@ -98,6 +104,36 @@ func main() {
 		suite.TraceDir = *traceDir
 	}
 
+	// Telemetry: one registry shared by every measured machine on the
+	// sim sweep. The real backend builds a fresh registry per processor
+	// count inside MeasureRealWorld (per-point derived figures must not
+	// mix traffic), so there the OnRealRegistry hook keeps the live
+	// server and the final exposition pointed at the current machine.
+	var reg *metrics.Registry
+	var srv *metrics.Server
+	if *metricsFlag || *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		suite.Metrics = reg
+	}
+	if *metricsAddr != "" {
+		var err error
+		srv, err = metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving http://%s/metrics and /vars\n", srv.Addr())
+	}
+	if reg != nil {
+		suite.OnRealRegistry = func(r *metrics.Registry) {
+			reg = r
+			if srv != nil {
+				srv.SetRegistry(r)
+			}
+		}
+	}
+
 	// The real backend runs the measured-speedup family and exits: its
 	// figures are host wall clock, so it shares no machinery (and no
 	// baselines) with the virtual-time sweep below.
@@ -107,12 +143,15 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("packbench: realworld (quick=%v, seed=%d, backend=real)\n", *quick, *seed)
-		fmt.Printf("env: %s\n\n", suite.Environment())
+		env := suite.Environment()
+		fmt.Printf("env: %s\n\n", env)
+		start := time.Now()
 		res, err := suite.MeasureRealWorld()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
 			os.Exit(1)
 		}
+		wallMS := float64(time.Since(start)) / float64(time.Millisecond)
 		tables := []*bench.Table{res.Table()}
 		bench.RenderAll(os.Stdout, tables)
 		if *outPath != "" {
@@ -127,6 +166,51 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *outPath)
+		}
+		if *jsonPath != "" {
+			// One summary row stands in for the experiment grid (the v6
+			// real_world object carries the full curve): every figure in
+			// it is a host wall measurement except virtual_ms, which sums
+			// the model half's predictions.
+			row := bench.ExperimentPerf{
+				ID:     "realworld",
+				Tables: 1,
+				Rows:   len(res.Points),
+				WallMS: wallMS,
+				// Each point runs one emulated machine plus Samples
+				// measured real runs.
+				MachineRuns: int64(len(res.Points) * (1 + res.Samples)),
+				Derived:     res.DerivedMeans(),
+			}
+			for _, pt := range res.Points {
+				row.VirtualMS += pt.ModelMS
+			}
+			rows := []bench.ExperimentPerf{row}
+			report := bench.PerfReport{
+				Schema:    bench.PerfSchema,
+				GoVersion: runtime.Version(),
+				NumCPU:    runtime.NumCPU(),
+				Parallel:  *parallel,
+				Sched:     sched.String(),
+				Quick:     *quick,
+				Seed:      *seed,
+				Samples:   *samples,
+				Env:       &env,
+
+				Experiments: rows,
+				Total:       bench.SumPerf(rows),
+				RealWorld:   &res,
+			}
+			writeReport(*jsonPath, report)
+		}
+		if *metricsFlag && reg != nil {
+			// reg was swapped by the OnRealRegistry hook, so this is the
+			// last measured point's registry (P=8), not the empty suite one.
+			fmt.Printf("\ntelemetry (Prometheus text format, last measured point):\n")
+			if err := metrics.WritePrometheus(os.Stdout, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		if *realGate > 0 {
 			if res.HostCPUs < 8 {
@@ -270,33 +354,14 @@ func main() {
 			Total:       bench.SumPerf(perfs),
 			PlanRepeat:  planPerf,
 		}
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
+		writeReport(*jsonPath, report)
+	}
+	if *metricsFlag && reg != nil {
+		fmt.Printf("\ntelemetry (Prometheus text format):\n")
+		if err := metrics.WritePrometheus(os.Stdout, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
-			os.Exit(1)
-		}
-		// Read the file back and validate it: trajectory tooling diffs
-		// these reports blind, so a malformed or mis-versioned file
-		// should fail here, not there.
-		written, err := os.ReadFile(*jsonPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
-			os.Exit(1)
-		}
-		var check bench.PerfReport
-		if err := json.Unmarshal(written, &check); err != nil {
-			fmt.Fprintf(os.Stderr, "packbench: written report does not parse: %v\n", err)
-			os.Exit(1)
-		}
-		if check.Schema != bench.PerfSchema {
-			fmt.Fprintf(os.Stderr, "packbench: written report carries schema %q, want %q\n", check.Schema, bench.PerfSchema)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s (schema %s)\n", *jsonPath, check.Schema)
 	}
 	fmt.Printf("generated %d tables in %.1fs wall time (parallel=%d)\n", len(tables), time.Since(start).Seconds(), *parallel)
 
@@ -317,4 +382,35 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *memProfile)
 	}
+}
+
+// writeReport marshals the perf report, writes it, and validates the
+// written file by reading it back: trajectory tooling diffs these
+// reports blind, so a malformed or mis-versioned file should fail
+// here, not there.
+func writeReport(path string, report bench.PerfReport) {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+		os.Exit(1)
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+		os.Exit(1)
+	}
+	var check bench.PerfReport
+	if err := json.Unmarshal(written, &check); err != nil {
+		fmt.Fprintf(os.Stderr, "packbench: written report does not parse: %v\n", err)
+		os.Exit(1)
+	}
+	if check.Schema != bench.PerfSchema {
+		fmt.Fprintf(os.Stderr, "packbench: written report carries schema %q, want %q\n", check.Schema, bench.PerfSchema)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (schema %s)\n", path, check.Schema)
 }

@@ -1,5 +1,5 @@
 // Command packdiff compares two packbench perf reports (schema
-// packbench-perf/v1 through v5) under the pipeline's exact-vs-noisy
+// packbench-perf/v1 through v6) under the pipeline's exact-vs-noisy
 // rule:
 //
 //   - virtual_ms and the derived registry means are exact replays of
@@ -29,7 +29,8 @@
 //
 // Schema skew is tolerated: when the two reports carry different
 // schema versions or experiment grids (a newer schema typically adds
-// experiments — v5 added planrepeat and the plan_repeat object), the
+// experiments — v5 added planrepeat and the plan_repeat object, v6
+// the real_world telemetry object and new derived keys), the
 // fields and aggregate rows that do not measure the same work are
 // warned about and skipped, while every shared per-experiment row is
 // still compared exactly.

@@ -14,6 +14,15 @@
 //	packtrace -format chrome -o trace.json     # open in ui.perfetto.dev
 //	packtrace -matrix                          # P×P messages/words, per phase
 //	packtrace -critpath                        # blocking chain from the makespan
+//	packtrace -backend real -format chrome -o wall.json  # wall-clock trace of the real backend
+//
+// With -backend real the same configuration executes on the real
+// shared-memory backend: every timestamp in the output is wall-clock
+// microseconds instead of virtual time (never both in one capture),
+// the Gantt axis says so, and the -matrix picture is rebuilt from the
+// telemetry counter registry instead of the event stream — the
+// critical path is unavailable there (it is defined over the virtual
+// cost model).
 package main
 
 import (
@@ -27,9 +36,11 @@ import (
 	"packunpack/internal/dist"
 	"packunpack/internal/hpf"
 	"packunpack/internal/mask"
+	"packunpack/internal/metrics"
 	"packunpack/internal/pack"
 	"packunpack/internal/sim"
 	"packunpack/internal/trace"
+	"packunpack/internal/transport"
 )
 
 func parseShape(s string) ([]int, error) {
@@ -57,6 +68,7 @@ func main() {
 	matrix := flag.Bool("matrix", false, "print the P x P communication matrix (messages/words, per phase)")
 	critpath := flag.Bool("critpath", false, "print the virtual-time critical path (blocking chain ending at the makespan)")
 	schedFlag := flag.String("sched", "coop", "emulator scheduling mode: coop (cooperative, deterministic event order) or goroutine (concurrent)")
+	backendFlag := flag.String("backend", "sim", "transport backend: sim traces the virtual-clock emulator, real traces the shared-memory parallel backend in wall-clock microseconds")
 	flag.Parse()
 
 	var scheme pack.Scheme
@@ -80,6 +92,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	backend, err := transport.ParseBackend(*backendFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *critpath && backend == transport.BackendReal {
+		log.Fatalf("-critpath is sim-only: the critical path is defined over the virtual cost model, not wall time")
+	}
 
 	shape, err := parseShape(*shapeFlag)
 	if err != nil {
@@ -91,12 +110,19 @@ func main() {
 	}
 	gen := mask.NewRandom(*density, *seed, shape...)
 
-	machine, err := sim.New(sim.Config{
-		Procs:  layout.Procs(),
-		Sched:  sched,
-		Params: sim.CM5Params(),
-		Record: true,
-		Trace:  true,
+	// The real backend's -matrix picture comes from the telemetry
+	// counter registry rather than the event stream, so attach one.
+	var reg *metrics.Registry
+	if backend == transport.BackendReal {
+		reg = metrics.NewRegistry()
+	}
+	machine, err := transport.New(backend, sim.Config{
+		Procs:   layout.Procs(),
+		Sched:   sched,
+		Params:  sim.CM5Params(),
+		Record:  true,
+		Trace:   true,
+		Metrics: reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -106,7 +132,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	err = machine.Run(func(proc *sim.Proc) {
+	err = machine.Run(func(proc transport.Endpoint) {
 		lm := mask.FillLocal(layout, proc.Rank(), gen)
 		a := make([]int, layout.LocalSize())
 		for i := range a {
@@ -126,7 +152,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	capture := trace.CaptureMachine(machine)
+	var capture *trace.Capture
+	timeUnit := "virtual time"
+	switch m := machine.(type) {
+	case *transport.SimMachine:
+		capture = trace.CaptureMachine(m.M)
+	case *transport.RealMachine:
+		capture = trace.CaptureReal(m)
+		timeUnit = "wall time"
+	default:
+		log.Fatalf("unknown machine type %T", machine)
+	}
 
 	if *format == "chrome" {
 		out := os.Stdout
@@ -151,14 +187,24 @@ func main() {
 		return
 	}
 
-	fmt.Printf("%s %s, shape %s, %s (P=%d), density %.0f%%, Size=%d, sched %s\n\n",
-		*op, scheme, *shapeFlag, hpf.Format(layout.Dims), layout.Procs(), *density*100, size, sched)
-	trace.Gantt(os.Stdout, machine.Spans(), *width)
+	fmt.Printf("%s %s, shape %s, %s (P=%d), density %.0f%%, Size=%d, sched %s, backend %s\n\n",
+		*op, scheme, *shapeFlag, hpf.Format(layout.Dims), layout.Procs(), *density*100, size, sched, backend)
+	trace.GanttUnit(os.Stdout, capture.Spans, *width, timeUnit)
 	fmt.Println()
-	trace.Summary(os.Stdout, machine.Stats())
+	trace.Summary(os.Stdout, capture.Stats)
 	if *matrix {
 		fmt.Println()
-		trace.WriteMatrix(os.Stdout, trace.BuildMatrix(capture))
+		if reg != nil {
+			// Real backend: the same P×P picture, rebuilt from the
+			// telemetry counters (bytes/8 = words) instead of events.
+			m, err := trace.MatrixFromMetrics(reg.Snapshot(), layout.Procs())
+			if err != nil {
+				log.Fatal(err)
+			}
+			trace.WriteMatrix(os.Stdout, m)
+		} else {
+			trace.WriteMatrix(os.Stdout, trace.BuildMatrix(capture))
+		}
 	}
 	if *critpath {
 		fmt.Println()
@@ -168,5 +214,9 @@ func main() {
 		}
 		trace.WriteCritPath(os.Stdout, rep)
 	}
-	fmt.Printf("\ntotal simulated time: %.3f ms\n", machine.MaxClock()/1000)
+	if backend == transport.BackendReal {
+		fmt.Printf("\ntotal wall time: %.3f ms\n", machine.MaxClock()/1000)
+	} else {
+		fmt.Printf("\ntotal simulated time: %.3f ms\n", machine.MaxClock()/1000)
+	}
 }

@@ -3,6 +3,7 @@ package packunpack_test
 import (
 	"fmt"
 	"reflect"
+	"strconv"
 	"testing"
 
 	"packunpack"
@@ -296,6 +297,114 @@ func TestConformanceVirtualMetricsSimOnly(t *testing.T) {
 		if stats[2][r].MsgsSent != stats[0][r].MsgsSent || stats[2][r].WordsSent != stats[0][r].WordsSent {
 			t.Errorf("rank %d: real traffic (%d msgs/%d words) != sim traffic (%d msgs/%d words)",
 				r, stats[2][r].MsgsSent, stats[2][r].WordsSent, stats[0][r].MsgsSent, stats[0][r].WordsSent)
+		}
+	}
+}
+
+// TestCrossBackendConformanceWithMetrics re-runs a grid point on every
+// machine with a telemetry registry attached: instrumentation must
+// never perturb the packed/unpacked bytes (results still byte-identical
+// to the oracle and to each other), and the registry must actually have
+// recorded — the comm and pack layers instrument through the Endpoint,
+// so both backends produce the same counter families.
+func TestCrossBackendConformanceWithMetrics(t *testing.T) {
+	const n = 48
+	layout := packunpack.MustLayout(packunpack.Dim{N: n, P: 8, W: 3})
+	locals, fields, maskLocals, global, gmask, gfield := conformanceWorkload(layout, n)
+	wantPacked := packunpack.SeqPack(global, gmask)
+	wantBack := packunpack.SeqUnpack(wantPacked, gmask, gfield)
+	opt := packunpack.Options{Scheme: packunpack.CMS}
+
+	instrumented := []struct {
+		name string
+		cfg  packunpack.Config
+		b    packunpack.Backend
+	}{
+		{"sim-goroutine", packunpack.Config{Procs: 8, Params: packunpack.CM5Params(), Sched: packunpack.SchedGoroutine}, packunpack.BackendSim},
+		{"sim-coop", packunpack.Config{Procs: 8, Params: packunpack.CM5Params(), Sched: packunpack.SchedCooperative}, packunpack.BackendSim},
+		{"real", packunpack.Config{Procs: 8, Params: packunpack.CM5Params()}, packunpack.BackendReal},
+	}
+	var first *packOutcome
+	var firstName string
+	for _, im := range instrumented {
+		reg := packunpack.NewMetricsRegistry()
+		im.cfg.Metrics = reg
+		m, err := packunpack.NewBackendMachine(im.b, im.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runPackUnpack(t, m, layout, locals, fields, maskLocals, opt)
+		if got.size != len(wantPacked) || !reflect.DeepEqual(got.packed, wantPacked) || !reflect.DeepEqual(got.unpacked, wantBack) {
+			t.Fatalf("%s with metrics attached diverged from oracle", im.name)
+		}
+		if first == nil {
+			first, firstName = &got, im.name
+		} else if !reflect.DeepEqual(got, *first) {
+			t.Fatalf("%s and %s disagree with metrics attached", im.name, firstName)
+		}
+		snap := reg.Snapshot()
+		for _, family := range []string{"comm_calls_total", "pack_calls_total", "pack_bytes_total"} {
+			f, ok := snap.Family(family)
+			if !ok || f.Total() == 0 {
+				t.Errorf("%s: metric family %s empty or missing — instrumentation did not record", im.name, family)
+			}
+		}
+	}
+}
+
+// TestRealLinkBytesReconcileWithSimStats pins the acceptance contract
+// of the real backend's telemetry at P=8: the per-link byte and message
+// totals in the registry must reconcile exactly with the emulator's
+// Stats for the same workload — every rank's outgoing link bytes sum to
+// its sim WordsSent x 8 (and likewise messages), because both backends
+// take identical algorithm decisions and the link meters count exactly
+// the charged sends.
+func TestRealLinkBytesReconcileWithSimStats(t *testing.T) {
+	const n, p = 96, 8
+	layout := packunpack.MustLayout(packunpack.Dim{N: n, P: p, W: 4})
+	locals, fields, maskLocals, _, _, _ := conformanceWorkload(layout, n)
+	opt := packunpack.Options{Scheme: packunpack.CMS}
+
+	simM, err := packunpack.NewBackendMachine(packunpack.BackendSim,
+		packunpack.Config{Procs: p, Params: packunpack.CM5Params(), Sched: packunpack.SchedCooperative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPackUnpack(t, simM, layout, locals, fields, maskLocals, opt)
+	simStats := simM.Stats()
+
+	reg := packunpack.NewMetricsRegistry()
+	realM, err := packunpack.NewBackendMachine(packunpack.BackendReal,
+		packunpack.Config{Procs: p, Params: packunpack.CM5Params(), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPackUnpack(t, realM, layout, locals, fields, maskLocals, opt)
+
+	snap := reg.Snapshot()
+	bytesBySrc := make([]int64, p)
+	msgsBySrc := make([]int64, p)
+	sumLinks := func(family string, out []int64) {
+		f, ok := snap.Family(family)
+		if !ok {
+			t.Fatalf("registry has no %s family", family)
+		}
+		for _, c := range f.Children {
+			src, err := strconv.Atoi(c.LabelValues[0])
+			if err != nil || src < 0 || src >= p {
+				t.Fatalf("%s: malformed src label %v", family, c.LabelValues)
+			}
+			out[src] += c.Value
+		}
+	}
+	sumLinks("transport_link_bytes_total", bytesBySrc)
+	sumLinks("transport_link_msgs_total", msgsBySrc)
+	for r := 0; r < p; r++ {
+		if want := simStats[r].WordsSent * 8; bytesBySrc[r] != want {
+			t.Errorf("rank %d: registry link bytes %d, sim stats say %d", r, bytesBySrc[r], want)
+		}
+		if want := simStats[r].MsgsSent; msgsBySrc[r] != want {
+			t.Errorf("rank %d: registry link msgs %d, sim stats say %d", r, msgsBySrc[r], want)
 		}
 	}
 }

@@ -47,9 +47,9 @@ func SchemaVersion(schema string) (int, error) {
 }
 
 // LoadPerfReport reads and validates a perf report of any schema
-// version v1–v5. Fields a version lacks read as their zero values
+// version v1–v6. Fields a version lacks read as their zero values
 // (v1 has no sched, v1–v3 no samples/env/wall_stats, v1–v4 no
-// plan_repeat).
+// plan_repeat, v1–v5 no real_world).
 func LoadPerfReport(path string) (*PerfReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -122,6 +122,10 @@ type RowDiff struct {
 	// DerivedDrift names derived metrics present in both rows whose
 	// values differ (bit-for-bit comparison).
 	DerivedDrift []string
+	// DerivedSkew names derived keys present in only one of the two
+	// rows — schema/telemetry evolution (e.g. v6 added queue_depth_p99,
+	// park_rate), warned about and skipped, never a gate failure.
+	DerivedSkew []string
 
 	// StructureDrift notes row-shape changes (tables, rows,
 	// machine_runs) — informational, since a PR may legitimately grow
@@ -272,6 +276,35 @@ func DiffReports(old, new *PerfReport, opt DiffOptions) *Diff {
 		d.SkewNotes = append(d.SkewNotes, fmt.Sprintf(
 			"plan_repeat object present only in the %s report (schema v5 field) — skipped, not compared", which))
 	}
+	// real_world (v6) is the real-backend telemetry curve — pure host
+	// wall measurements, so like plan_repeat it is never numerically
+	// compared; a presence mismatch still deserves a note.
+	if ov, nv := old.RealWorld != nil, new.RealWorld != nil; ov != nv {
+		which := "new"
+		if ov {
+			which = "old"
+		}
+		d.SkewNotes = append(d.SkewNotes, fmt.Sprintf(
+			"real_world object present only in the %s report (schema v6 field) — skipped, not compared", which))
+	}
+	// Derived keys one side lacks are telemetry evolution (v6 added
+	// queue_depth_p99/park_rate to instrumented rows), not drift: one
+	// aggregated note instead of a per-row gate failure.
+	skewKeys := map[string]bool{}
+	for _, r := range d.Rows {
+		for _, k := range r.DerivedSkew {
+			skewKeys[k] = true
+		}
+	}
+	if len(skewKeys) > 0 {
+		keys := make([]string, 0, len(skewKeys))
+		for k := range skewKeys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		d.SkewNotes = append(d.SkewNotes, fmt.Sprintf(
+			"derived key(s) present on one side only — skipped, not compared: %s", strings.Join(keys, ", ")))
+	}
 	if old.Schema != new.Schema {
 		d.SkewNotes = append(d.SkewNotes, fmt.Sprintf(
 			"schema skew: %s vs %s — fields the older schema lacks read as zero and are skipped", old.Schema, new.Schema))
@@ -310,11 +343,21 @@ func diffRow(old, new ExperimentPerf, opt DiffOptions) RowDiff {
 	// not emulator drift (e.g. a v2 report has no derived object at
 	// all), so they do not fail the gate.
 	for name, ov := range old.Derived {
-		if nv, ok := new.Derived[name]; ok && nv != ov {
-			r.DerivedDrift = append(r.DerivedDrift, name)
+		if nv, ok := new.Derived[name]; ok {
+			if nv != ov {
+				r.DerivedDrift = append(r.DerivedDrift, name)
+			}
+		} else {
+			r.DerivedSkew = append(r.DerivedSkew, name)
+		}
+	}
+	for name := range new.Derived {
+		if _, ok := old.Derived[name]; !ok {
+			r.DerivedSkew = append(r.DerivedSkew, name)
 		}
 	}
 	sort.Strings(r.DerivedDrift)
+	sort.Strings(r.DerivedSkew)
 
 	if old.Tables != new.Tables {
 		r.StructureDrift = append(r.StructureDrift, fmt.Sprintf("tables %d→%d", old.Tables, new.Tables))

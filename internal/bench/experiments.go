@@ -10,6 +10,7 @@ import (
 	"packunpack/internal/comm"
 	"packunpack/internal/dist"
 	"packunpack/internal/mask"
+	"packunpack/internal/metrics"
 	"packunpack/internal/pack"
 	"packunpack/internal/sim"
 	"packunpack/internal/trace"
@@ -41,6 +42,18 @@ type Suite struct {
 	// The canonical experiments stay fault-free unless the caller asks;
 	// the "faults" sweep sets per-run plans regardless.
 	Faults *sim.FaultConfig
+	// Metrics, when non-nil, attaches this telemetry registry to every
+	// measured machine that does not carry its own (packbench -metrics).
+	// Tables and virtual times are unaffected — telemetry observes wall
+	// clock only — and the registry stays out of the memoization key, so
+	// cached points simply do not re-record (a cache hit runs no machine).
+	Metrics *metrics.Registry
+	// OnRealRegistry, when non-nil, is called with each fresh telemetry
+	// registry MeasureRealWorld creates (one per processor count, so
+	// per-point derived figures stay isolated). Live exposition servers
+	// use it to follow the machine currently executing
+	// (metrics.Server.SetRegistry).
+	OnRealRegistry func(*metrics.Registry)
 	// TraceDir, when non-empty, runs every measured machine with the
 	// observability layer on and dumps one Chrome trace-event file per
 	// executed experiment point into the directory (packbench
@@ -200,6 +213,9 @@ func (s Suite) measure(r Run) Metrics {
 	r.Sched = s.Sched // experiments leave the mode to the suite
 	if r.Faults == nil {
 		r.Faults = s.Faults
+	}
+	if r.Metrics == nil {
+		r.Metrics = s.Metrics
 	}
 	key := runKey(r)
 	if s.collect != nil {

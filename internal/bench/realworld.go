@@ -19,37 +19,50 @@ import (
 
 	"packunpack/internal/dist"
 	"packunpack/internal/mask"
+	"packunpack/internal/metrics"
 	"packunpack/internal/pack"
 	"packunpack/internal/sim"
 	"packunpack/internal/transport"
 )
 
 // RealWorldPoint is one processor count of the measured-vs-modeled
-// speedup curve.
+// speedup curve. Serialized into the perf report since schema v6, so
+// every field carries a JSON tag.
 type RealWorldPoint struct {
-	P int
+	P int `json:"p"`
 	// ModelMS is the emulator's virtual time per call (cost-model
 	// prediction); ModelSpeedup is ModelMS(P=1)/ModelMS(P).
-	ModelMS, ModelSpeedup float64
+	ModelMS      float64 `json:"model_ms"`
+	ModelSpeedup float64 `json:"model_speedup"`
 	// RealMS is the measured wall time per call on the real backend
 	// (minimum over samples, amortized over the in-run repeats);
 	// RealSpeedup is RealMS(P=1)/RealMS(P).
-	RealMS, RealSpeedup float64
+	RealMS      float64 `json:"real_ms"`
+	RealSpeedup float64 `json:"real_speedup"`
+	// Derived holds wall-clock telemetry figures extracted from the
+	// metrics registry attached to the real machine (schema v6):
+	// queue_depth_p99 (p99 of sampled SPSC queue depths), park_rate
+	// (receiver parks per completed receive), and plan_hit_rate when the
+	// workload routed through a plan cache. Host measurements — never
+	// comparable bit-for-bit across runs.
+	Derived map[string]float64 `json:"derived,omitempty"`
 }
 
 // RealWorldResult is the full curve plus the measurement conditions.
 type RealWorldResult struct {
 	// N is the global array length; W the block size; Density the mask
 	// density.
-	N, W    int
-	Density float64
+	N       int     `json:"n"`
+	W       int     `json:"w"`
+	Density float64 `json:"density"`
 	// Reps is how many PACK calls each measured run amortizes over;
 	// Samples how many runs the minimum wall time is taken from.
-	Reps, Samples int
+	Reps    int `json:"reps"`
+	Samples int `json:"samples"`
 	// HostCPUs is runtime.NumCPU() at measurement time — the context
 	// every wall figure must be read in.
-	HostCPUs int
-	Points   []RealWorldPoint
+	HostCPUs int              `json:"host_cpus"`
+	Points   []RealWorldPoint `json:"points"`
 }
 
 // Gate checks the measured curve against a minimum speedup at one
@@ -105,8 +118,15 @@ func (s Suite) MeasureRealWorld() (RealWorldResult, error) {
 		pt.ModelMS = simMachine.MaxClock() / 1000
 
 		// Real half: measured wall time, minimum over samples to shed
-		// scheduler noise, amortized over reps calls per run.
-		realMachine, err := transport.NewReal(transport.RealConfig{Procs: p, Params: sim.CM5Params()})
+		// scheduler noise, amortized over reps calls per run. Each point
+		// gets a fresh telemetry registry so its derived figures describe
+		// exactly this processor count's traffic (instrumentation never
+		// perturbs results — the conformance tests pin that).
+		reg := metrics.NewRegistry()
+		if s.OnRealRegistry != nil {
+			s.OnRealRegistry(reg)
+		}
+		realMachine, err := transport.NewReal(transport.RealConfig{Procs: p, Params: sim.CM5Params(), Metrics: reg})
 		if err != nil {
 			return res, err
 		}
@@ -120,6 +140,7 @@ func (s Suite) MeasureRealWorld() (RealWorldResult, error) {
 			}
 		}
 		pt.RealMS = float64(best) / float64(time.Millisecond) / float64(reps)
+		pt.Derived = DeriveTelemetry(reg.Snapshot())
 
 		res.Points = append(res.Points, pt)
 	}
@@ -174,16 +195,18 @@ func (r RealWorldResult) Table() *Table {
 		ID: "realworld",
 		Title: fmt.Sprintf("Measured vs modeled PACK speedup (CMS, N=%d, W=%d, density %.2f, %d reps/run, min of %d samples)",
 			r.N, r.W, r.Density, r.Reps, r.Samples),
-		Columns: []string{"P", "model ms", "model speedup", "real ms", "real speedup"},
+		Columns: []string{"P", "model ms", "model speedup", "real ms", "real speedup", "qdepth p99", "park rate"},
 		Notes: []string{
 			fmt.Sprintf("real times are host wall clock on %d CPUs — NOT reproducible figures; model times are virtual (CM-5 constants)", r.HostCPUs),
 			"the gap between the curves is the model-vs-hardware divergence: the emulator assumes P dedicated processors, the host multiplexes onto its cores",
+			"qdepth p99 / park rate come from the telemetry registry attached to the real machine: p99 of sampled SPSC queue depths, receiver parks per completed receive",
 		},
 	}
 	for _, pt := range r.Points {
 		t.AddRow(fmt.Sprint(pt.P),
 			fmt.Sprintf("%.3f", pt.ModelMS), fmt.Sprintf("%.2fx", pt.ModelSpeedup),
-			fmt.Sprintf("%.3f", pt.RealMS), fmt.Sprintf("%.2fx", pt.RealSpeedup))
+			fmt.Sprintf("%.3f", pt.RealMS), fmt.Sprintf("%.2fx", pt.RealSpeedup),
+			fmt.Sprintf("%.0f", pt.Derived["queue_depth_p99"]), fmt.Sprintf("%.3f", pt.Derived["park_rate"]))
 	}
 	return t
 }

@@ -48,7 +48,21 @@ import (
 // comparable with v4 baselines — and cmd/packdiff warns-and-skips the
 // new fields when the older file lacks them. v1–v4 files still parse;
 // v4 consumers that ignore unknown keys still parse v5.
-const PerfSchema = "packbench-perf/v5"
+//
+// v6: real-backend telemetry. A report produced with the real backend
+// (packbench -real -json) carries a top-level "real_world" object — the
+// measured-vs-modeled speedup curve, now serialized for the first time —
+// whose points hold a "derived" map of wall-clock telemetry figures
+// (queue_depth_p99, park_rate, and plan_hit_rate when plans were used)
+// extracted from the internal/metrics registry attached to each real
+// machine; the run is also summarized as one "realworld" experiment row.
+// These figures are host measurements, never comparable bit-for-bit.
+// Virtual metrics are untouched: every sim-backend row stays exactly
+// reproducible and bit-for-bit comparable with v5 baselines, and
+// cmd/packdiff warns-and-skips real_world and the new derived keys when
+// only one side carries them. v1–v5 files still parse; v5 consumers that
+// ignore unknown keys still parse v6.
+const PerfSchema = "packbench-perf/v6"
 
 // Environment is the perf report's measurement-environment record: the
 // host fingerprint plus the knobs of this run that move wall-clock
@@ -98,6 +112,12 @@ type PerfReport struct {
 	// (schema v5), attached when the run included the planrepeat
 	// experiment; nil otherwise and in older files.
 	PlanRepeat *PlanRepeatPerf `json:"plan_repeat,omitempty"`
+	// RealWorld is the measured-vs-modeled speedup curve with per-point
+	// telemetry (schema v6), attached when the report was produced by a
+	// real-backend run (packbench -real -json); nil otherwise and in
+	// older files. Its wall figures are host measurements — cmd/packdiff
+	// notes its presence but never diffs it numerically.
+	RealWorld *RealWorldResult `json:"real_world,omitempty"`
 }
 
 // WallStats holds the robust aggregates of a row's repeated wall-clock

@@ -14,6 +14,7 @@ import (
 
 	"packunpack/internal/dist"
 	"packunpack/internal/mask"
+	"packunpack/internal/metrics"
 	"packunpack/internal/pack"
 	"packunpack/internal/ranking"
 	"packunpack/internal/redist"
@@ -169,6 +170,13 @@ type Run struct {
 	// cached bulk-copy plan; Metrics.PlanStats then reports the cache
 	// counters and Derived gains plan_hit_rate.
 	Planned bool
+	// Metrics attaches a wall-clock telemetry registry to the measured
+	// machine (sim.Config.Metrics / packbench -metrics). Deliberately
+	// NOT part of the memoization key (runKey): telemetry observes host
+	// time and never perturbs virtual results, so a cached measurement
+	// stays valid whether or not a registry was attached — the
+	// cross-backend conformance tests pin that invariant.
+	Metrics *metrics.Registry
 	// failRank is a test seam: when set, it is consulted after the
 	// operation and its non-nil error is reported as that rank's
 	// failure (exercises the any-rank first-error capture).
@@ -230,7 +238,7 @@ func (r Run) exec() (Metrics, *trace.Capture, error) {
 	}
 	machine, err := sim.New(sim.Config{
 		Procs: r.Layout.Procs(), Params: params, SelfSendFree: r.SelfSendFree, Sched: r.Sched,
-		Record: r.Trace, Trace: r.Trace, Faults: r.Faults,
+		Record: r.Trace, Trace: r.Trace, Faults: r.Faults, Metrics: r.Metrics,
 	})
 	if err != nil {
 		return Metrics{}, nil, err

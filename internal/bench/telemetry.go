@@ -1,0 +1,76 @@
+package bench
+
+import "packunpack/internal/metrics"
+
+// This file turns a raw telemetry snapshot into the handful of derived
+// wall-clock figures the perf report carries (schema v6). The raw
+// registry holds per-link and per-rank families; the report wants
+// machine-level health indicators, so the derivation collapses them:
+//
+//	queue_depth_p99  p99 of the sampled SPSC queue depths — how deep
+//	                 links run when the receiver lags (0 = drained).
+//	park_rate        receiver parks per completed receive — how often
+//	                 a Recv found its queues empty and had to sleep.
+//	plan_hit_rate    plan-cache hits / lookups; present only when the
+//	                 workload routed through a plan cache at all, so
+//	                 plan-free reports keep their exact shape.
+//
+// All three are host measurements: they describe the machine the run
+// executed on, never the cost model, and are reported for reading —
+// cmd/packdiff skips them like every other wall figure.
+
+// DeriveTelemetry computes the derived wall-clock figures from a
+// registry snapshot. Families that never recorded are simply absent
+// from the result; an empty snapshot yields nil.
+func DeriveTelemetry(snap metrics.Snapshot) map[string]float64 {
+	out := map[string]float64{}
+	if f, ok := snap.Family("transport_queue_depth"); ok && len(f.Children) > 0 {
+		out["queue_depth_p99"] = float64(f.Children[0].Quantile(0.99))
+	}
+	if parks, ok := snap.Family("transport_parks_total"); ok {
+		if recvs, ok := snap.Family("transport_recvs_total"); ok && recvs.Total() > 0 {
+			out["park_rate"] = float64(parks.Total()) / float64(recvs.Total())
+		}
+	}
+	hits, okH := snap.Family("pack_plan_hits_total")
+	misses, okM := snap.Family("pack_plan_misses_total")
+	if okH || okM {
+		var h, m int64
+		if okH {
+			h = hits.Total()
+		}
+		if okM {
+			m = misses.Total()
+		}
+		if h+m > 0 {
+			out["plan_hit_rate"] = float64(h) / float64(h+m)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// DerivedMeans averages each telemetry key over the curve's points that
+// carry it — the summary row of a real-backend perf report (the
+// real_world object keeps the per-point values). Nil when no point
+// recorded anything.
+func (r RealWorldResult) DerivedMeans() map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, pt := range r.Points {
+		for k, v := range pt.Derived {
+			sums[k] += v
+			counts[k]++
+		}
+	}
+	if len(sums) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(sums))
+	for k, s := range sums {
+		out[k] = s / float64(counts[k])
+	}
+	return out
+}

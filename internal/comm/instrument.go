@@ -1,0 +1,33 @@
+package comm
+
+// Telemetry hooks for the collectives (internal/metrics, PR 8). Each
+// public primitive records one comm_calls_total increment and one
+// comm_wall_us observation per invocation, labeled by primitive name.
+// Wall time — host time, not virtual time — is the right unit on both
+// backends: on the real backend it is the latency a service would see,
+// on the emulator it is the host cost of simulating the collective
+// (useful for sweep profiling, meaningless as a model figure — the
+// model's own numbers stay in Stats/Spans).
+//
+// Overhead discipline: with no registry attached the hook is one
+// interface call and a nil check, and no deferred closure is created.
+
+import (
+	"time"
+
+	"packunpack/internal/transport"
+)
+
+// commObserve records the call and returns the stop function for its
+// wall-time observation, nil when telemetry is off (callers guard the
+// defer on that).
+func commObserve(p transport.Endpoint, primitive string) func() {
+	reg := p.Metrics()
+	if reg == nil {
+		return nil
+	}
+	reg.Counter("comm_calls_total", "collective invocations per primitive", "primitive").With(primitive).Inc()
+	h := reg.Histogram("comm_wall_us", "wall-clock microseconds per collective call", "primitive").With(primitive)
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0).Microseconds()) }
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges render
+// directly; histograms render as summaries — pre-extracted
+// p50/p99/p999 quantile series plus _sum and _count — because the
+// quantiles are what the log-linear buckets exist to answer and the
+// golden output stays stable under bucket-layout tuning.
+//
+// Output is deterministic (sorted families, sorted label tuples), so a
+// quiesced registry exposes byte-identical text across runs — the
+// property the metricscheck golden test pins.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	return writePrometheusSnapshot(w, r.Snapshot())
+}
+
+var summaryQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.99", 0.99},
+	{"0.999", 0.999},
+}
+
+func writePrometheusSnapshot(w io.Writer, snap Snapshot) error {
+	for _, f := range snap.Families {
+		typ := "counter"
+		switch f.Kind {
+		case KindGauge:
+			typ = "gauge"
+		case KindHistogram:
+			typ = "summary"
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, typ); err != nil {
+			return err
+		}
+		for _, c := range f.Children {
+			if err := writeChild(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f FamilySnap, c ChildSnap) error {
+	if f.Kind != KindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, labelBlock(f.Labels, c.LabelValues, "", ""), c.Value)
+		return err
+	}
+	for _, sq := range summaryQuantiles {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n",
+			f.Name, labelBlock(f.Labels, c.LabelValues, "quantile", sq.label), c.Quantile(sq.q)); err != nil {
+			return err
+		}
+	}
+	base := labelBlock(f.Labels, c.LabelValues, "", "")
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.Name, base, c.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, base, c.Count)
+	return err
+}
+
+// labelBlock renders `{a="x",b="y"}` (empty string when no labels),
+// optionally appending one extra pair (the summary quantile label).
+func labelBlock(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, escapeLabel(value(values, i)))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func value(values []string, i int) string {
+	if i < len(values) {
+		return values[i]
+	}
+	return ""
+}
+
+func escapeLabel(s string) string {
+	// %q already escapes `\` and `"`; newlines are the remaining hazard
+	// and %q escapes those too, so the quoting above suffices. This
+	// helper exists to make the policy explicit and greppable.
+	return s
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteExpvarJSON renders the registry as a flat expvar-style JSON
+// object: one top-level key per kind, each mapping
+// "family{v1,v2}" to its reading (histograms map to an object with
+// count/sum/p50/p99/p999). encoding/json sorts map keys, so the output
+// is deterministic.
+func WriteExpvarJSON(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	counters := map[string]int64{}
+	gauges := map[string]int64{}
+	hists := map[string]map[string]int64{}
+	for _, f := range snap.Families {
+		for _, c := range f.Children {
+			key := f.Name
+			if len(c.LabelValues) > 0 {
+				key += "{" + strings.Join(c.LabelValues, ",") + "}"
+			}
+			switch f.Kind {
+			case KindCounter:
+				counters[key] = c.Value
+			case KindGauge:
+				gauges[key] = c.Value
+			case KindHistogram:
+				hists[key] = map[string]int64{
+					"count": c.Count, "sum": c.Sum,
+					"p50": c.Quantile(0.5), "p99": c.Quantile(0.99), "p999": c.Quantile(0.999),
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"counters": counters, "gauges": gauges, "histograms": hists,
+	})
+}

@@ -1,0 +1,304 @@
+// Package metrics is the backend-agnostic telemetry subsystem: a
+// registry of labeled metric families (counters, gauges, latency
+// histograms) designed so the instrumented hot paths cost nothing when
+// telemetry is off and stay lock-free when it is on.
+//
+// The two design rules, in priority order:
+//
+//  1. Disabled means free. Every handle type (*Registry, *CounterVec,
+//     *Counter, ...) treats the nil pointer as a valid "telemetry off"
+//     value, and every mutating method starts with a one-branch nil
+//     check and returns. Instrumentation therefore never needs its own
+//     guard: `p.Metrics().Counter(...)` on a nil registry yields nil
+//     handles all the way down, and the eventual Add/Observe is a
+//     predicted-not-taken branch. This mirrors the emulator's one-bool
+//     trace guard (DESIGN.md §6).
+//
+//  2. Enabled means lock-free. Counters are sharded across padded
+//     cache-line cells (writers pick a shard from their stack address,
+//     or pin one explicitly with AddShard); gauges and histogram
+//     buckets are single atomics. No mutating path takes a lock; the
+//     only mutexes guard family/child *creation*, which hot paths
+//     amortize away by pre-resolving handles.
+//
+// Reads (Snapshot, the exposition writers) are designed for
+// determinism, not speed: a snapshot taken after writers quiesce is a
+// pure function of the multiset of recorded events, independent of
+// interleaving — shard sums and bucket counts are commutative, and
+// families/children are emitted in sorted order.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Kind discriminates the metric families.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// numShards is the counter shard count; a power of two so the shard
+// pick is a mask, not a modulo.
+const numShards = 16
+
+// cell is one counter shard, padded to its own cache line so
+// concurrent writers on different shards never false-share.
+type cell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// shardIndex derives a shard from the caller's stack address: cheap,
+// allocation-free, and stable for the lifetime of a goroutine's stack
+// segment, so a tight loop in one goroutine keeps hitting the same
+// cache line. Collisions only cost contention, never correctness.
+func shardIndex() int {
+	var marker byte
+	return int(uintptr(unsafe.Pointer(&marker)) >> 10 & (numShards - 1))
+}
+
+// Registry holds the metric families. The nil *Registry is the
+// "telemetry disabled" registry: every method on it is a no-op that
+// returns nil handles.
+type Registry struct {
+	mu       sync.Mutex
+	families sync.Map // name -> *family
+	order    []string // registration order (used only to detect, not render)
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// family is one named metric family with a fixed kind and label
+// schema; children (one per label-value tuple) are created on demand.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+
+	mu       sync.Mutex
+	children sync.Map // labelKey -> *Counter / *Gauge / *Histogram
+}
+
+// lookup returns the named family, creating it on first use, and
+// panics on schema disagreement — two call sites registering the same
+// name with different kinds or label arity is a programming error that
+// silent tolerance would turn into corrupt exposition.
+func (r *Registry) lookup(name, help string, kind Kind, labels []string) *family {
+	if f, ok := r.families.Load(name); ok {
+		fam := f.(*family)
+		fam.check(kind, labels)
+		return fam
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families.Load(name); ok {
+		fam := f.(*family)
+		fam.check(kind, labels)
+		return fam
+	}
+	fam := &family{name: name, help: help, kind: kind, labels: append([]string(nil), labels...)}
+	r.families.Store(name, fam)
+	r.order = append(r.order, name)
+	return fam
+}
+
+func (f *family) check(kind Kind, labels []string) {
+	if f.kind != kind || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("metrics: family %q re-registered as %v/%d labels (was %v/%d)",
+			f.name, kind, len(labels), f.kind, len(f.labels)))
+	}
+}
+
+// labelKey builds the child map key. The single-label case (the common
+// hot-path shape) uses the value itself — no allocation; multi-label
+// tuples join on 0xff, which cannot appear in well-formed label text.
+func labelKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	return strings.Join(values, "\xff")
+}
+
+func (f *family) child(values []string, make func(labels []string) any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: family %q got %d label values, want %d", f.name, len(values), len(f.labels)))
+	}
+	key := labelKey(values)
+	if c, ok := f.children.Load(key); ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children.Load(key); ok {
+		return c
+	}
+	c := make(append([]string(nil), values...))
+	f.children.Store(key, c)
+	return c
+}
+
+// Counter registers (or finds) a counter family. Returns nil when the
+// registry is nil.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.lookup(name, help, KindCounter, labels)}
+}
+
+// Gauge registers (or finds) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.lookup(name, help, KindGauge, labels)}
+}
+
+// Histogram registers (or finds) a histogram family.
+func (r *Registry) Histogram(name, help string, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.lookup(name, help, KindHistogram, labels)}
+}
+
+// CounterVec is a counter family handle; With resolves one child.
+type CounterVec struct{ f *family }
+
+// With returns the child for the given label values (creating it on
+// first use). Hot paths should call With once and retain the child.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func(labels []string) any { return &Counter{labels: labels} }).(*Counter)
+}
+
+// GaugeVec is a gauge family handle.
+type GaugeVec struct{ f *family }
+
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func(labels []string) any { return &Gauge{labels: labels} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family handle.
+type HistogramVec struct{ f *family }
+
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func(labels []string) any { return newHistogram(labels) }).(*Histogram)
+}
+
+// Counter is a monotone sum sharded across padded cells. All methods
+// are safe on the nil *Counter (no-ops / zero).
+type Counter struct {
+	labels []string
+	shards [numShards]cell
+}
+
+// Add adds d on the shard picked from the caller's stack address.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].n.Add(d)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// AddShard adds d on an explicit shard (masked into range). Hot loops
+// with a natural writer index — a rank, a worker id — use this to pin
+// one cache line instead of re-deriving the stack hint per call.
+func (c *Counter) AddShard(shard int, d int64) {
+	if c == nil {
+		return
+	}
+	c.shards[shard&(numShards-1)].n.Add(d)
+}
+
+// Value sums the shards. Exact once writers have quiesced.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	labels []string
+	v      atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// SetMax raises the gauge to v if v is larger — the lock-free
+// high-water-mark update (CAS loop; losers retry against the new max).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Snapshot is a deterministic point-in-time copy of a registry: a pure
+// function of the multiset of recorded events. Families sort by name,
+// children by label tuple, so two registries that saw the same events
+// under any goroutine interleaving snapshot to identical values (the
+// merge-determinism contract pinned by TestMetricsMergeDeterminism).
+type Snapshot struct {
+	Families []FamilySnap `json:"families"`
+}
+
+// FamilySnap is one family's snapshot.
+type FamilySnap struct {
+	Name     string      `json:"name"`
+	Help     string      `json:"help"`
+	Kind     Kind        `json:"kind"`
+	Labels   []string    `json:"labels,omitempty"`
+	Children []ChildSnap `json:"children"`
+}
+
+// ChildSnap is one labeled child's snapshot. Value carries
+// counter/gauge readings; Count/Sum/Buckets carry histograms.
+type ChildSnap struct {
+	LabelValues []string `json:"label_values,omitempty"`
+	Value       int64    `json:"value,omitempty"`
+	Count       int64    `json:"count,omitempty"`
+	Sum         int64    `json:"sum,omitempty"`
+	Buckets     []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one occupied histogram bucket: counts of observations in
+// [Lower, Upper].
+type Bucket struct {
+	Lower int64 `json:"lo"`
+	Upper int64 `json:"hi"`
+	Count int64 `json:"n"`
+}
+
+// Quantile extracts quantile q from a histogram child's buckets (same
+// convention as Histogram.Quantile). Zero for counter/gauge children.
+func (c ChildSnap) Quantile(q float64) int64 {
+	if len(c.Buckets) == 0 {
+		return 0
+	}
+	// Re-spread the sparse buckets onto rank order; they are already
+	// sorted by construction.
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(c.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range c.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.Upper
+		}
+	}
+	return c.Buckets[len(c.Buckets)-1].Upper
+}
+
+// Snapshot copies the registry. Safe on the nil registry (empty
+// snapshot). Concurrent writers do not corrupt a snapshot, but only a
+// quiesced registry snapshots exactly.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	var names []string
+	r.families.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+
+	var snap Snapshot
+	for _, name := range names {
+		f, _ := r.families.Load(name)
+		snap.Families = append(snap.Families, f.(*family).snapshot())
+	}
+	return snap
+}
+
+func (f *family) snapshot() FamilySnap {
+	fs := FamilySnap{Name: f.name, Help: f.help, Kind: f.kind, Labels: append([]string(nil), f.labels...)}
+	f.children.Range(func(_, v any) bool {
+		fs.Children = append(fs.Children, childSnap(v))
+		return true
+	})
+	sort.Slice(fs.Children, func(i, j int) bool {
+		return lessTuple(fs.Children[i].LabelValues, fs.Children[j].LabelValues)
+	})
+	return fs
+}
+
+func lessTuple(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func childSnap(v any) ChildSnap {
+	switch c := v.(type) {
+	case *Counter:
+		return ChildSnap{LabelValues: append([]string(nil), c.labels...), Value: c.Value()}
+	case *Gauge:
+		return ChildSnap{LabelValues: append([]string(nil), c.labels...), Value: c.Value()}
+	case *Histogram:
+		cs := ChildSnap{LabelValues: append([]string(nil), c.labels...), Sum: c.Sum()}
+		for i := range c.buckets {
+			n := c.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			cs.Count += n
+			cs.Buckets = append(cs.Buckets, Bucket{Lower: bucketLower(i), Upper: bucketUpper(i), Count: n})
+		}
+		return cs
+	}
+	return ChildSnap{}
+}
+
+// Family finds a family snapshot by name; the bool reports presence.
+func (s Snapshot) Family(name string) (FamilySnap, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnap{}, false
+}
+
+// Child finds a child by exact label tuple.
+func (f FamilySnap) Child(values ...string) (ChildSnap, bool) {
+	for _, c := range f.Children {
+		if len(c.LabelValues) != len(values) {
+			continue
+		}
+		match := true
+		for i := range values {
+			if c.LabelValues[i] != values[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c, true
+		}
+	}
+	return ChildSnap{}, false
+}
+
+// Total sums Value over all children (counter/gauge families).
+func (f FamilySnap) Total() int64 {
+	var sum int64
+	for _, c := range f.Children {
+		sum += c.Value
+	}
+	return sum
+}

@@ -1,0 +1,64 @@
+package pack
+
+// Telemetry hooks for the PACK/UNPACK layer (internal/metrics, PR 8).
+// Families recorded here, all no-ops when the endpoint carries no
+// registry:
+//
+//	pack_calls_total{op}        completed operations, op = pack | unpack
+//	pack_bytes_total{op}        local result footprint per call, bytes:
+//	                            the rank's result-vector share for PACK,
+//	                            its result-array size for UNPACK (so the
+//	                            machine-wide totals are the global
+//	                            result sizes x 8 per call)
+//	pack_plan_hits_total        transparent plan-cache lookups served
+//	pack_plan_misses_total      ... and those that forced a compile
+//	pack_plan_compile_us        wall-clock microseconds per plan compile
+//
+// Wall time here is host time on both backends (see
+// internal/comm/instrument.go for the same convention and rationale);
+// the paper's modelled costs stay in Stats/Spans and are never mixed
+// into these families.
+
+import (
+	"time"
+
+	"packunpack/internal/transport"
+)
+
+// recordPackOp counts one completed operation. Called only on success
+// paths — failed validation never reaches the counters.
+func recordPackOp(p transport.Endpoint, op string, localWords int) {
+	reg := p.Metrics()
+	if reg == nil {
+		return
+	}
+	reg.Counter("pack_calls_total", "completed PACK/UNPACK operations", "op").With(op).Inc()
+	reg.Counter("pack_bytes_total", "local result bytes per completed operation", "op").With(op).Add(int64(localWords) * 8)
+}
+
+// recordPlanLookup counts one collective plan-cache decision. Every
+// rank of the machine records the same outcome (the decision is
+// collective by construction), so per-machine rates divide by NProcs.
+func recordPlanLookup(p transport.Endpoint, hit bool) {
+	reg := p.Metrics()
+	if reg == nil {
+		return
+	}
+	if hit {
+		reg.Counter("pack_plan_hits_total", "transparent plan-cache hits").With().Inc()
+	} else {
+		reg.Counter("pack_plan_misses_total", "transparent plan-cache misses (compiles forced)").With().Inc()
+	}
+}
+
+// planCompileTimer starts the compile-time observation; nil when
+// telemetry is off (callers guard the defer on that).
+func planCompileTimer(p transport.Endpoint) func() {
+	reg := p.Metrics()
+	if reg == nil {
+		return nil
+	}
+	h := reg.Histogram("pack_plan_compile_us", "wall-clock microseconds per plan compile").With()
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0).Microseconds()) }
+}

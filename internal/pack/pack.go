@@ -227,6 +227,7 @@ func packImpl[T any](p transport.Endpoint, l *dist.Layout, a []T, m []bool, opt 
 	default:
 		return nil, fmt.Errorf("pack: unknown scheme %v", opt.Scheme)
 	}
+	recordPackOp(p, "pack", len(res.V))
 	return res, nil
 }
 

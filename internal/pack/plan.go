@@ -201,6 +201,7 @@ func planLookup(p transport.Endpoint, cache *PlanCache, localFP uint64, algo com
 	p.SetPhase(prev)
 	if tot[1] != expected {
 		cache.noteMiss()
+		recordPlanLookup(p, false)
 		return gfp, nil
 	}
 	if pl == nil {
@@ -209,6 +210,7 @@ func planLookup(p transport.Endpoint, cache *PlanCache, localFP uint64, algo com
 		panic("pack: plan-cache agreement collision with empty local slot")
 	}
 	cache.noteHit()
+	recordPlanLookup(p, true)
 	return gfp, pl
 }
 
@@ -260,6 +262,9 @@ func compilePlan(p transport.Endpoint, l *dist.Layout, m []bool, opt Options, ve
 	case SchemeSSS, SchemeCSS, SchemeCMS:
 	default:
 		return nil, fmt.Errorf("pack: unknown scheme %v", opt.Scheme)
+	}
+	if done := planCompileTimer(p); done != nil {
+		defer done()
 	}
 	rnk, err := ranking.Rank(p, l, m, ranking.Options{
 		PRS: opt.PRS, KeepRecords: false, SeparatePrefixReduce: opt.SeparatePrefixReduce,
@@ -375,6 +380,7 @@ func execPackPlan[T any](p transport.Endpoint, pl *Plan, a []T, pad []T) (*Resul
 		}
 	}
 	p.Charge(ops) // per segment: header read + bulk word copy
+	recordPackOp(p, "pack", len(res.V))
 	return res, nil
 }
 
@@ -436,6 +442,7 @@ func execUnpackPlan[T any](p transport.Endpoint, pl *Plan, v []T, field []T) (*U
 	}
 	// Per run: header read + bulk word copy, batched per call.
 	p.Charge(2*pl.totalRuns + pl.totalData)
+	recordPackOp(p, "unpack", len(res.A))
 	return res, nil
 }
 

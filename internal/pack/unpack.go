@@ -210,6 +210,7 @@ func Unpack[T any](p transport.Endpoint, l *dist.Layout, v []T, nPrime int, m []
 			}
 		}
 	}
+	recordPackOp(p, "unpack", len(res.A))
 	return res, nil
 }
 

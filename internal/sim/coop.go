@@ -239,6 +239,7 @@ func (m *Machine) runCoop(body func(p *Proc)) error {
 				return // unwound before first being scheduled
 			}
 			body(p)
+			p.flushHeld(-1) // release reorder-held messages before finishing
 		}(p)
 	}
 

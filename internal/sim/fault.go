@@ -52,9 +52,16 @@ type FaultConfig struct {
 	// Dup is the probability the destination receives a second copy of
 	// the message.
 	Dup float64
-	// Reorder is the probability the message is enqueued at the front
-	// of the destination mailbox instead of the back, overtaking every
-	// message queued before it.
+	// Reorder is the probability the message falls behind in the
+	// network: it is held back and delivered only after the sender's
+	// next surviving delivery to the same destination (which thereby
+	// overtakes it), or unovertaken at the sender's next receive or the
+	// end of its run. Holding on the sender keeps the fault schedule a
+	// pure function of the sender's operation sequence; enqueuing at
+	// the front of the destination mailbox (the previous definition)
+	// made the overtake depend on how much of the queue the receiver
+	// had already drained — a real-time race under the goroutine
+	// scheduler that broke cross-scheduler determinism.
 	Reorder float64
 	// Delay is the probability the message's arrival time slips by an
 	// extra, deterministically chosen amount up to DelayMax.
@@ -409,51 +416,74 @@ func (p *Proc) TrySend(dst, tag int, payload any, words int) bool {
 	}
 
 	msg := message{src: p.rank, tag: tag, payload: payload, words: words, arrival: arrival, id: id}
-	if f.Reorder > 0 && p.faultUniform(5) < f.Reorder {
+	reordered := f.Reorder > 0 && p.faultUniform(5) < f.Reorder
+	dup := f.Dup > 0 && p.faultUniform(6) < f.Dup
+	if reordered {
+		// The message falls behind in the network: hold it on the sender
+		// until a later delivery to the same destination overtakes it
+		// (or a flush point releases it unovertaken, see flushHeld). A
+		// duplicate of a held message falls behind with it.
 		p.bumpFault(func(c *FaultCounters) { c.Reorders++ })
 		if p.tracing() {
 			p.emit(Event{Kind: EvFaultReorder, Peer: dst, Tag: tag, Words: words, Time: arrival, MsgID: id})
 		}
-		p.deliverFront(dst, msg)
-	} else {
-		p.deliver(dst, msg)
+		p.held = append(p.held, heldMsg{dst: dst, m: msg})
+		if dup {
+			p.bumpFault(func(c *FaultCounters) { c.Dups++ })
+			if p.tracing() {
+				p.emit(Event{Kind: EvFaultDup, Peer: dst, Tag: tag, Words: words, Time: arrival, MsgID: id})
+			}
+			p.held = append(p.held, heldMsg{dst: dst, m: msg})
+		}
+		return true
 	}
-
-	if f.Dup > 0 && p.faultUniform(6) < f.Dup {
+	p.deliver(dst, msg)
+	if dup {
 		p.bumpFault(func(c *FaultCounters) { c.Dups++ })
 		if p.tracing() {
 			p.emit(Event{Kind: EvFaultDup, Peer: dst, Tag: tag, Words: words, Time: arrival, MsgID: id})
 		}
 		p.deliver(dst, msg)
 	}
+	p.flushHeld(dst) // this delivery overtook anything held for dst
 	return true
 }
 
-// deliverFront enqueues a message at the head of the destination
-// mailbox — the reorder fault: the message overtakes everything queued
-// before it. Receive matching scans the queue in order, so an
-// overtaken same-stream message is observed out of order by the
-// receiver (which the reliable transport's sequence numbers absorb).
-func (p *Proc) deliverFront(dst int, m message) {
-	if p.tracing() {
-		p.flushCharge()
-		p.emit(Event{Kind: EvDeliver, Peer: dst, Tag: m.tag, Words: m.words, Time: m.arrival, MsgID: m.id})
-	}
-	if p.cs != nil {
-		b := p.m.boxes[dst]
-		b.queue = append(b.queue, message{})
-		copy(b.queue[1:], b.queue)
-		b.queue[0] = m
-		p.cs.noteDeliver(dst, m.src, m.tag)
+// heldMsg is a reorder-faulted message waiting on its sender to be
+// overtaken (see FaultConfig.Reorder).
+type heldMsg struct {
+	dst int
+	m   message
+}
+
+// flushHeld delivers the held (reorder-faulted) messages for dst, in
+// hold order; dst < 0 flushes every destination. Flush points are all
+// sender-local, so the delivery order of every (sender, destination)
+// pair — the only order receive matching can observe — is a pure
+// function of the sender's operation sequence on either scheduler:
+//
+//   - a surviving TrySend to the same destination (the overtake);
+//   - the sender entering Recv (it may block there, and a held message
+//     must never be the one a blocked peer is waiting for);
+//   - the end of the sender's run body, for the same reason.
+func (p *Proc) flushHeld(dst int) {
+	if len(p.held) == 0 {
 		return
 	}
-	b := p.m.boxes[dst]
-	b.mu.Lock()
-	b.queue = append(b.queue, message{})
-	copy(b.queue[1:], b.queue)
-	b.queue[0] = m
-	b.cond.Broadcast()
-	b.mu.Unlock()
+	rest := p.held
+	p.held = rest[:0]
+	for _, h := range rest {
+		if dst < 0 || h.dst == dst {
+			p.deliver(h.dst, h.m)
+		} else {
+			p.held = append(p.held, h)
+		}
+	}
+	// Zero the vacated tail slots so delivered payloads do not stay
+	// reachable through the slice's spare capacity.
+	for i := len(p.held); i < len(rest); i++ {
+		rest[i] = heldMsg{}
+	}
 }
 
 // RetryWait charges the reliable sender's retransmission timeout — the

@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"packunpack/internal/metrics"
 )
 
 // Params holds the two-level machine model constants, all in
@@ -128,6 +130,14 @@ type Config struct {
 	// sink as it is produced (without requiring Trace's buffering). See
 	// EventSink for the concurrency contract.
 	Sink EventSink
+	// Metrics, when non-nil, attaches the backend-agnostic telemetry
+	// registry (internal/metrics): the instrumented layers above the
+	// endpoint (pack, comm) record counters and latency histograms into
+	// it. The emulator itself records nothing — virtual-time accounting
+	// already lives in Stats/Spans/Events — so attaching a registry
+	// never perturbs virtual results. Nil (the default) disables
+	// telemetry at one-branch cost in the instrumented paths.
+	Metrics *metrics.Registry
 	// Faults, when non-nil, enables the deterministic fault-injection
 	// subsystem (fault.go): TrySend delivery attempts are subjected to
 	// a seeded schedule of drops, duplications, reorderings, delays,
@@ -511,6 +521,7 @@ func (m *Machine) runGoroutine(body func(p *Proc)) error {
 				}
 			}()
 			body(p)
+			p.flushHeld(-1) // release reorder-held messages before finishing
 		}(procs[i])
 	}
 	wg.Wait()
@@ -702,8 +713,14 @@ type Proc struct {
 	faultSeq    uint64 // per-rank delivery attempt counter
 	faults      FaultCounters
 	phaseFaults map[string]FaultCounters
+	held        []heldMsg // reorder-faulted messages awaiting overtake
 	commState   any // opaque slot for the reliable transport (CommState)
 }
+
+// Metrics returns the telemetry registry attached via Config.Metrics,
+// nil when telemetry is off (the instrumented layers' nil-registry
+// fast path then short-circuits every recording).
+func (p *Proc) Metrics() *metrics.Registry { return p.m.cfg.Metrics }
 
 // record appends (or extends) a timeline span ending at the current
 // clock.
@@ -854,6 +871,11 @@ func (p *Proc) SendFree(dst, tag int, payload any) {
 func (p *Proc) Recv(src, tag int) (payload any, words int) {
 	if src < 0 || src >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("sim: Recv from invalid rank %d (P=%d)", src, p.m.cfg.Procs))
+	}
+	if p.m.cfg.Faults != nil {
+		// About to (possibly) block: release reorder-held messages so a
+		// peer waiting on one of them can make progress (flushHeld).
+		p.flushHeld(-1)
 	}
 	traced := p.tracing()
 	blockClock := p.clock

@@ -55,9 +55,9 @@ const (
 	// EvFaultDup marks an injected duplication: the destination
 	// received a second copy of the message identified by MsgID.
 	EvFaultDup
-	// EvFaultReorder marks an injected reordering: the message was
-	// enqueued at the front of the destination mailbox, overtaking
-	// everything queued before it.
+	// EvFaultReorder marks an injected reordering: the message fell
+	// behind in the network, held on the sender until its next
+	// surviving delivery to the same destination overtakes it.
 	EvFaultReorder
 	// EvFaultDelay marks an injected delivery delay: Dur extra virtual
 	// microseconds before the message becomes available, Time the
@@ -168,6 +168,12 @@ func msgID(rank int, n uint64) uint64 {
 
 // MsgIDSrc recovers the sending rank encoded in a message id.
 func MsgIDSrc(id uint64) int { return int(id >> 40) }
+
+// MakeMsgID builds the rank-qualified message id (the inverse of
+// MsgIDSrc). Exported for the real backend, which numbers its own
+// sends with the same scheme so both backends' event streams key
+// send→receive flows identically.
+func MakeMsgID(rank int, n uint64) uint64 { return msgID(rank, n) }
 
 // tracing reports whether the processor records events.
 func (p *Proc) tracing() bool {

@@ -41,6 +41,14 @@ func glyphFor(phase string, comm bool) byte {
 // as communication — so '.' is rare and indicates the processor
 // finished early).
 func Gantt(w io.Writer, spans [][]sim.Span, width int) {
+	GanttUnit(w, spans, width, "virtual time")
+}
+
+// GanttUnit is Gantt with an explicit time-axis label: "virtual time"
+// for emulator captures, "wall time" for real-backend ones (the chart
+// logic is identical — only the meaning of the microseconds differs,
+// and the label keeps the reader from mixing them up).
+func GanttUnit(w io.Writer, spans [][]sim.Span, width int, unit string) {
 	if width <= 0 {
 		width = 72
 	}
@@ -75,7 +83,7 @@ func Gantt(w io.Writer, spans [][]sim.Span, width int) {
 	}
 	scale := float64(width) / end
 
-	fmt.Fprintf(w, "virtual time 0 .. %.3f ms, one column = %.1f us\n", end/1000, end/float64(width))
+	fmt.Fprintf(w, "%s 0 .. %.3f ms, one column = %.1f us\n", unit, end/1000, end/float64(width))
 	for rank, row := range spans {
 		line := make([]byte, width)
 		weight := make([]float64, width) // dominant-span bookkeeping

@@ -1,0 +1,152 @@
+package trace
+
+// This file is the wall-clock event source: it adapts the real
+// shared-memory backend (internal/transport.RealMachine) to the same
+// Capture the emulator produces, so every exporter in this package —
+// Chrome/Perfetto JSON with send→recv flow arrows, Gantt, matrices —
+// consumes real runs unchanged.
+//
+// The one rule that keeps captures honest: a capture's timestamps are
+// either all virtual (sim) or all wall-clock microseconds (real),
+// never a mix (DESIGN.md §14). The real backend records no spans of
+// its own — span recording would put timestamping work on the measured
+// hot path — so SpansFromEvents synthesizes the processor timelines
+// afterwards from the event stream: time between communication events
+// is rendered as computation, receive waits (EvRecvWake.Dur) as
+// communication.
+
+import (
+	"fmt"
+	"strconv"
+
+	"packunpack/internal/metrics"
+	"packunpack/internal/sim"
+	"packunpack/internal/transport"
+)
+
+// CaptureReal snapshots the most recent run of a real machine. The
+// machine should have been built with RealConfig.Trace; without it the
+// capture holds stats only (exporters then degrade exactly as they do
+// for a sim machine without Config.Trace).
+func CaptureReal(m *transport.RealMachine) *Capture {
+	stats := m.Stats()
+	events := m.Events()
+	clocks := make([]float64, len(stats))
+	for i, s := range stats {
+		clocks[i] = s.Clock
+	}
+	return &Capture{
+		Procs:  m.Procs(),
+		Params: m.Params(),
+		Stats:  stats,
+		Spans:  SpansFromEvents(events, clocks),
+		Events: events,
+	}
+}
+
+// SpansFromEvents synthesizes per-processor span timelines from
+// structured event streams: the interval a processor spends inside
+// Recv waiting (EvRecvWake with Dur > 0) becomes a communication span,
+// everything else between events becomes computation attributed to the
+// current phase. finalClocks gives each rank's end-of-run clock so the
+// last span reaches the end of the timeline. Ranks without events get
+// nil rows.
+func SpansFromEvents(events [][]sim.Event, finalClocks []float64) [][]sim.Span {
+	out := make([][]sim.Span, len(events))
+	for rank, row := range events {
+		if len(row) == 0 {
+			continue
+		}
+		var spans []sim.Span
+		t := 0.0
+		phase := "default"
+		comp := func(end float64) {
+			if end > t {
+				spans = append(spans, sim.Span{Phase: phase, Comm: false, Start: t, End: end})
+			}
+		}
+		for _, ev := range row {
+			switch ev.Kind {
+			case sim.EvPhase:
+				comp(ev.Time)
+				if ev.Time > t {
+					t = ev.Time
+				}
+				phase = ev.Phase
+			case sim.EvRecvWake:
+				if ev.Dur <= 0 {
+					continue
+				}
+				start := ev.Time - ev.Dur
+				comp(start)
+				if start < t {
+					start = t
+				}
+				if ev.Time > start {
+					spans = append(spans, sim.Span{Phase: phase, Comm: true, Start: start, End: ev.Time})
+				}
+				if ev.Time > t {
+					t = ev.Time
+				}
+			}
+		}
+		if rank < len(finalClocks) {
+			comp(finalClocks[rank])
+		}
+		out[rank] = spans
+	}
+	return out
+}
+
+// MatrixFromMetrics rebuilds the P×P communication matrix from the
+// counter registry instead of the event stream — the telemetry path to
+// the same picture: the real backend's per-link and per-phase link
+// counters (transport_link_* / transport_phase_link_*, see
+// internal/transport/realmeters.go) aggregate exactly what BuildMatrix
+// derives from EvSend events, so the two reconcile cell by cell (and
+// both reconcile with Stats.MsgsSent/WordsSent; pinned by the
+// conformance suite).
+func MatrixFromMetrics(snap metrics.Snapshot, procs int) (*CommMatrix, error) {
+	m := &CommMatrix{P: procs, Total: newCells(procs), ByPhase: map[string]*MatrixCells{}}
+	fill := func(family string, phased bool, set func(cells *MatrixCells, i int, v int64)) error {
+		f, ok := snap.Family(family)
+		if !ok {
+			return fmt.Errorf("trace: metric family %s missing from snapshot (was the machine built with a registry?)", family)
+		}
+		for _, c := range f.Children {
+			labels := c.LabelValues
+			cells := m.Total
+			if phased {
+				ph := m.ByPhase[labels[0]]
+				if ph == nil {
+					ph = newCells(procs)
+					m.ByPhase[labels[0]] = ph
+				}
+				cells = ph
+				labels = labels[1:]
+			}
+			src, err1 := strconv.Atoi(labels[0])
+			dst, err2 := strconv.Atoi(labels[1])
+			if err1 != nil || err2 != nil || src < 0 || src >= procs || dst < 0 || dst >= procs {
+				return fmt.Errorf("trace: %s has malformed link labels %v", family, c.LabelValues)
+			}
+			set(cells, src*procs+dst, c.Value)
+		}
+		return nil
+	}
+	addMsgs := func(cells *MatrixCells, i int, v int64) { cells.Msgs[i] += v }
+	addWords := func(cells *MatrixCells, i int, v int64) { cells.Words[i] += v / 8 } // bytes -> machine words
+	if err := fill("transport_link_msgs_total", false, addMsgs); err != nil {
+		return nil, err
+	}
+	if err := fill("transport_link_bytes_total", false, addWords); err != nil {
+		return nil, err
+	}
+	if err := fill("transport_phase_link_msgs_total", true, addMsgs); err != nil {
+		return nil, err
+	}
+	if err := fill("transport_phase_link_bytes_total", true, addWords); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -14,11 +14,15 @@ package transport
 // receives with out-of-tag-order messages parked at the receiver — so
 // any algorithm written against transport.Endpoint produces
 // byte-identical results on both backends (pinned by the cross-backend
-// conformance suite). What does NOT carry over is the model-side
-// instrumentation: virtual clocks, phase cost attribution, event
-// tracing, and fault injection are emulator devices (they need an
-// omniscient network), so Faults() is always nil here and the reliable
-// transport's fault path never engages.
+// conformance suite). Observability carries over too: with
+// RealConfig.Trace the backend emits the same structured sim.Event
+// stream — wall-clock microsecond timestamps instead of virtual time,
+// same message-id scheme — and with RealConfig.Metrics it records the
+// telemetry families of realmeters.go. What does NOT carry over is the
+// model side: virtual clocks, cost charging, and fault injection are
+// emulator devices (they need an omniscient network), so Faults() is
+// always nil here and the reliable transport's fault path never
+// engages.
 //
 // Deadlock handling is heuristic, like the emulator's goroutine mode:
 // a watchdog samples a global progress counter, and when every live
@@ -35,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"packunpack/internal/metrics"
 	"packunpack/internal/sim"
 )
 
@@ -52,6 +57,22 @@ type RealConfig struct {
 	// NoPin disables locking processor goroutines to OS threads even
 	// when the host has enough cores.
 	NoPin bool
+	// Metrics, when non-nil, attaches the telemetry registry
+	// (internal/metrics): the backend records the families documented
+	// in realmeters.go (per-link traffic, queue depths, park/wake
+	// counts, stash occupancy, per-phase wall spans) and the
+	// instrumented layers above the endpoint record theirs. Nil
+	// disables all recording at one-branch cost.
+	Metrics *metrics.Registry
+	// Trace, when set, records structured events (sim.Event schema,
+	// wall-clock microsecond timestamps) into per-processor buffers
+	// retrievable via Events() after a run — the real-backend
+	// counterpart of sim.Config.Trace.
+	Trace bool
+	// Sink, when non-nil, additionally streams every event as it is
+	// produced. Ranks call Emit concurrently (like the emulator's
+	// goroutine mode); the sink must be safe for that.
+	Sink sim.EventSink
 }
 
 // RealMachine is a Machine whose processors run genuinely in parallel
@@ -72,6 +93,7 @@ type RealMachine struct {
 
 	mu      sync.Mutex
 	stats   []sim.Stats
+	events  [][]sim.Event
 	elapsed time.Duration
 }
 
@@ -104,8 +126,15 @@ func NewReal(cfg RealConfig) (*RealMachine, error) {
 			m.queues[s][d] = newSpscQueue()
 		}
 	}
+	if cfg.Metrics != nil {
+		m.attachQueueMeters(cfg.Metrics)
+	}
 	return m, nil
 }
+
+// Metrics returns the registry configured at construction (nil when
+// telemetry is off).
+func (m *RealMachine) Metrics() *metrics.Registry { return m.cfg.Metrics }
 
 // MustNewReal is NewReal for configurations known to be valid.
 func MustNewReal(cfg RealConfig) *RealMachine {
@@ -148,6 +177,10 @@ func (m *RealMachine) Run(body func(Endpoint)) error {
 			pending: make([][]rmsg, n),
 			phase:   "default",
 			stats:   sim.Stats{Rank: i, Phases: make(map[string]sim.PhaseStats)},
+			tr:      m.cfg.Trace || m.cfg.Sink != nil,
+		}
+		if m.cfg.Metrics != nil {
+			procs[i].met = newProcMeters(m.cfg.Metrics, i, n, "default", 0)
 		}
 	}
 
@@ -167,6 +200,9 @@ func (m *RealMachine) Run(body func(Endpoint)) error {
 					m.abort(true)
 				}
 				p.stats.Clock = p.clockNow()
+				if p.met != nil {
+					p.met.notePhaseEnd(p.phase, p.stats.Clock)
+				}
 			}()
 			if pin {
 				runtime.LockOSThread()
@@ -182,8 +218,12 @@ func (m *RealMachine) Run(body func(Endpoint)) error {
 	m.mu.Lock()
 	m.elapsed = elapsed
 	m.stats = make([]sim.Stats, n)
+	m.events = make([][]sim.Event, n)
 	for i, p := range procs {
 		m.stats[i] = p.stats
+		if m.cfg.Trace {
+			m.events[i] = p.events
+		}
 	}
 	m.mu.Unlock()
 
@@ -320,6 +360,15 @@ type realProc struct {
 	phase   string
 	stats   sim.Stats
 	comm    any
+
+	// Telemetry state; zero/nil when the machine has none configured,
+	// so every hot-path guard below is a single predictable branch.
+	tr       bool          // record/stream trace events
+	met      *procMeters   // pre-resolved metric handles, nil = off
+	events   []sim.Event   // per-rank event buffer (RealConfig.Trace)
+	seq      uint64        // per-rank event sequence number
+	sends    uint64        // per-rank message counter for MsgID
+	stashLen int           // current tag-mismatch stash size, all sources
 }
 
 func (p *realProc) Rank() int          { return p.rank }
@@ -335,7 +384,15 @@ func (p *realProc) Clock() float64 { return p.clockNow() }
 
 func (p *realProc) SetPhase(name string) (previous string) {
 	previous = p.phase
+	if p.met != nil {
+		now := p.clockNow()
+		p.met.notePhaseEnd(previous, now)
+		p.met.setPhase(p.rank, p.m.cfg.Procs, name)
+	}
 	p.phase = name
+	if p.tr {
+		p.emit(sim.Event{Kind: sim.EvPhase, Time: p.clockNow(), Phase: name})
+	}
 	return previous
 }
 
@@ -356,16 +413,37 @@ func (p *realProc) Send(dst, tag int, payload any, words int) {
 	}
 	p.stats.MsgsSent++
 	p.stats.WordsSent += int64(words)
-	p.m.queues[p.rank][dst].put(rmsg{tag: tag, payload: payload, words: words})
+	if p.met != nil {
+		p.met.noteSend(p.rank, dst, words)
+	}
+	var id uint64
+	if p.tr {
+		p.sends++
+		id = sim.MakeMsgID(p.rank, p.sends)
+	}
+	p.m.queues[p.rank][dst].put(rmsg{tag: tag, payload: payload, words: words, id: id})
 	p.m.progress.Add(1)
+	if p.tr {
+		now := p.clockNow()
+		p.emit(sim.Event{Kind: sim.EvSend, Peer: dst, Tag: tag, Words: words, Time: now, MsgID: id})
+		p.emit(sim.Event{Kind: sim.EvDeliver, Peer: dst, Tag: tag, Words: words, Time: now, MsgID: id})
+	}
 }
 
 func (p *realProc) SendFree(dst, tag int, payload any) {
 	if dst < 0 || dst >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("transport: SendFree to invalid rank %d (P=%d)", dst, p.m.cfg.Procs))
 	}
-	p.m.queues[p.rank][dst].put(rmsg{tag: tag, payload: payload, free: true})
+	var id uint64
+	if p.tr {
+		p.sends++
+		id = sim.MakeMsgID(p.rank, p.sends)
+	}
+	p.m.queues[p.rank][dst].put(rmsg{tag: tag, payload: payload, free: true, id: id})
 	p.m.progress.Add(1)
+	if p.tr {
+		p.emit(sim.Event{Kind: sim.EvDeliver, Peer: dst, Tag: tag, Time: p.clockNow(), MsgID: id})
+	}
 }
 
 // Recv blocks until a message with the given source and tag arrives.
@@ -376,17 +454,43 @@ func (p *realProc) Recv(src, tag int) (payload any, words int) {
 	if src < 0 || src >= p.m.cfg.Procs {
 		panic(fmt.Sprintf("transport: Recv from invalid rank %d (P=%d)", src, p.m.cfg.Procs))
 	}
+	var t0 float64
+	if p.tr {
+		t0 = p.clockNow()
+		p.emit(sim.Event{Kind: sim.EvRecvBlock, Peer: src, Tag: tag, Time: t0})
+	}
+	msg, parks := p.recvMatch(src, tag)
+	if p.met != nil {
+		p.met.recvs.AddShard(p.rank, 1)
+		if parks > 0 {
+			p.met.parks.AddShard(p.rank, parks)
+		}
+	}
+	if p.tr {
+		now := p.clockNow()
+		p.emit(sim.Event{Kind: sim.EvRecvWake, Peer: src, Tag: tag, Words: msg.words, Time: now, Dur: now - t0, MsgID: msg.id})
+	}
+	return msg.payload, msg.words
+}
+
+// recvMatch finds the (src, tag) message — stash first, then the SPSC
+// queue, parking on its notify channel while empty — and reports how
+// many times it parked.
+func (p *realProc) recvMatch(src, tag int) (rmsg, int64) {
 	stash := p.pending[src]
 	for i, m := range stash {
 		if m.tag == tag {
 			p.pending[src] = append(stash[:i], stash[i+1:]...)
-			return m.payload, m.words
+			p.stashLen--
+			return m, 0
 		}
 	}
 	q := p.in[src]
+	var parks int64
 	for {
 		m, ok := q.poll()
 		if !ok {
+			parks++
 			p.m.blocked.Add(1)
 			select {
 			case <-q.notify:
@@ -400,9 +504,13 @@ func (p *realProc) Recv(src, tag int) (payload any, words int) {
 		}
 		p.m.progress.Add(1)
 		if m.tag == tag {
-			return m.payload, m.words
+			return m, parks
 		}
 		p.pending[src] = append(p.pending[src], m)
+		p.stashLen++
+		if p.met != nil {
+			p.met.stashHW.SetMax(int64(p.stashLen))
+		}
 	}
 }
 
@@ -445,3 +553,6 @@ func (p *realProc) NoteStash(src, tag int) {
 }
 
 func (p *realProc) CommState() *any { return &p.comm }
+
+// Metrics returns the machine's telemetry registry, nil when off.
+func (p *realProc) Metrics() *metrics.Registry { return p.m.cfg.Metrics }

@@ -8,7 +8,8 @@ type rmsg struct {
 	tag     int
 	payload any
 	words   int
-	free    bool // SendFree control message (uncounted)
+	free    bool   // SendFree control message (uncounted)
+	id      uint64 // trace message id (sim.MakeMsgID); 0 when tracing is off
 }
 
 // spscNode is one link of the unbounded SPSC queue.
@@ -36,6 +37,12 @@ type spscQueue struct {
 	head   *spscNode // consumer-owned; head.next is the front
 	tail   *spscNode // producer-owned
 	notify chan struct{}
+
+	// Telemetry (realmeters.go): depth is maintained — and meter
+	// consulted — only when the machine was built with a registry, so
+	// the uninstrumented put/poll pay exactly one nil check.
+	meter *linkMeter
+	depth atomic.Int64
 }
 
 func newSpscQueue() *spscQueue {
@@ -48,6 +55,11 @@ func (q *spscQueue) put(m rmsg) {
 	n := &spscNode{msg: m}
 	q.tail.next.Store(n)
 	q.tail = n
+	if mt := q.meter; mt != nil {
+		d := q.depth.Add(1)
+		mt.depthHW.SetMax(d)
+		mt.depthHist.Observe(d)
+	}
 	select {
 	case q.notify <- struct{}{}:
 	default:
@@ -64,6 +76,9 @@ func (q *spscQueue) poll() (m rmsg, ok bool) {
 	m = n.msg
 	n.msg = rmsg{} // drop the payload reference from the retired node
 	q.head = n
+	if q.meter != nil {
+		q.depth.Add(-1)
+	}
 	return m, true
 }
 

@@ -28,13 +28,19 @@
 // the cross-backend conformance suite pins that the results are
 // byte-identical. Virtual metrics (clocks, phase breakdowns, cost
 // charges) are meaningful on the sim backend only; the real backend
-// counts ops/messages/words and measures wall time.
+// counts ops/messages/words and measures wall time. Both backends are
+// observable: they emit the same structured trace-event stream
+// (sim.Event — virtual timestamps on sim, wall-clock microseconds on
+// real; the two never mix in one capture, see DESIGN.md §14) and both
+// carry an optional internal/metrics registry that the instrumented
+// layers above the endpoint record into.
 package transport
 
 import (
 	"fmt"
 	"time"
 
+	"packunpack/internal/metrics"
 	"packunpack/internal/sim"
 )
 
@@ -98,6 +104,13 @@ type Endpoint interface {
 	// CommState is an opaque per-run slot where a higher communication
 	// layer hangs protocol state off the processor.
 	CommState() *any
+
+	// Metrics returns the machine's telemetry registry
+	// (internal/metrics), nil when telemetry is off. Instrumented
+	// layers resolve handles through it; every handle off a nil
+	// registry is a nil no-op, so disabled telemetry costs one
+	// predictable branch per recording site.
+	Metrics() *metrics.Registry
 }
 
 // Machine runs SPMD bodies over one of the backends.
@@ -157,10 +170,12 @@ func ParseBackend(s string) (Backend, error) {
 }
 
 // New builds a Machine of the requested backend from a sim.Config.
-// The sim backend honours every Config field; the real backend uses
-// Procs and Params and rejects configurations asking for sim-only
-// subsystems (fault injection, tracing, span recording) rather than
-// silently ignoring them.
+// The sim backend honours every Config field. The real backend maps
+// Procs, Params, Metrics, and the tracing switches (Trace/Record/Sink
+// — events carry wall-clock microsecond timestamps instead of virtual
+// time; Record is subsumed by Trace because real spans are synthesized
+// from the event stream, see internal/trace) and rejects only fault
+// injection, which genuinely needs the emulator's omniscient network.
 func New(b Backend, cfg sim.Config) (Machine, error) {
 	switch b {
 	case BackendSim:
@@ -173,10 +188,10 @@ func New(b Backend, cfg sim.Config) (Machine, error) {
 		if cfg.Faults != nil {
 			return nil, fmt.Errorf("transport: fault injection is sim-only (the real network is not under our control); run the fault plan on the sim backend")
 		}
-		if cfg.Trace || cfg.Record || cfg.Sink != nil {
-			return nil, fmt.Errorf("transport: event tracing and span recording are sim-only (they attribute virtual time); profile the real backend with pprof instead")
-		}
-		return NewReal(RealConfig{Procs: cfg.Procs, Params: cfg.Params})
+		return NewReal(RealConfig{
+			Procs: cfg.Procs, Params: cfg.Params, Metrics: cfg.Metrics,
+			Trace: cfg.Trace || cfg.Record, Sink: cfg.Sink,
+		})
 	}
 	return nil, fmt.Errorf("transport: unknown backend %v", b)
 }

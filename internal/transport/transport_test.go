@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"packunpack/internal/metrics"
 	"packunpack/internal/sim"
 )
 
@@ -38,13 +39,27 @@ func TestNewRejectsSimOnlyFeaturesOnReal(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "sim-only") {
 		t.Errorf("New(real, faults) error = %v, want sim-only rejection", err)
 	}
-	_, err = New(BackendReal, sim.Config{Procs: 2, Trace: true})
-	if err == nil || !strings.Contains(err.Error(), "sim-only") {
-		t.Errorf("New(real, trace) error = %v, want sim-only rejection", err)
-	}
 	_, err = New(Backend(7), sim.Config{Procs: 2})
 	if err == nil {
 		t.Error("New accepted an unknown backend")
+	}
+}
+
+// TestNewAcceptsObservabilityOnReal pins the PR 8 contract: tracing,
+// span recording, and a metrics registry all map onto the real backend
+// (wall-clock event source) instead of being rejected.
+func TestNewAcceptsObservabilityOnReal(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m, err := New(BackendReal, sim.Config{Procs: 2, Params: sim.CM5Params(), Trace: true, Record: true, Metrics: reg})
+	if err != nil {
+		t.Fatalf("New(real, trace+metrics): %v", err)
+	}
+	rm := m.(*RealMachine)
+	if !rm.cfg.Trace {
+		t.Error("Trace flag did not map through")
+	}
+	if rm.Metrics() != reg {
+		t.Error("Metrics registry did not map through")
 	}
 }
 
