@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate planbench realbench real-race fuzz-short fault-race metricscheck ci
+.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate planbench realbench real-race fuzz-short fault-race metricscheck reportcheck ci
 
 all: build
 
@@ -125,4 +125,25 @@ metricscheck:
 	$(GO) run ./cmd/packtrace -backend real -shape 4096 -dist "CYCLIC(4) ONTO 8" -format chrome -o /tmp/packtrace-real.json
 	$(GO) run ./internal/tools/jsoncheck /tmp/packtrace-real.json traceEvents
 
-ci: vet staticcheck build race real-race smoke smoke-trace validate-perf perfgate planbench realbench metricscheck
+# reportcheck proves the scalable-observability layer end to end: the
+# packreport golden dashboard (byte-determinism included), the trace
+# sink suites (JSONL stream round-trip, aggregated rollup/Stats
+# reconciliation, sampling charge-exactness), the flight recorder's
+# dump-on-abort paths (structural deadlock and fault-budget
+# exhaustion), and the CLIs on real inputs: packreport over every
+# committed baseline, packtrace streaming a JSONL feed alongside a
+# Chrome export, and packtrace -open digesting that export.
+reportcheck:
+	$(GO) test ./internal/report/
+	$(GO) test ./internal/trace/ -run 'JSONL|Flight|Sampling|Agg|Sink'
+	$(GO) test ./internal/bench/ -run 'FlightDump'
+	$(GO) run ./cmd/packreport -o /tmp/packreport.html \
+		BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json \
+		BENCH_pr5.json BENCH_pr6.json BENCH_pr8.json
+	grep -q "Scheme crossover model" /tmp/packreport.html
+	$(GO) run ./cmd/packtrace -shape 4096 -dist "CYCLIC(4) ONTO 8" \
+		-jsonl /tmp/packtrace-feed.jsonl -format chrome -o /tmp/packtrace-open.json
+	test -s /tmp/packtrace-feed.jsonl
+	$(GO) run ./cmd/packtrace -open /tmp/packtrace-open.json
+
+ci: vet staticcheck build race real-race smoke smoke-trace validate-perf perfgate planbench realbench metricscheck reportcheck

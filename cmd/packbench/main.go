@@ -17,6 +17,7 @@
 //	packbench -backend real -json perf.json # v6 report with the real_world telemetry curve
 //	packbench -metrics            # attach telemetry to every machine; print the Prometheus exposition
 //	packbench -metrics-addr :9100 # additionally serve it live (/metrics, /vars) while running
+//	packbench -flight-dir crash   # post-mortem flight dump if a sweep machine deadlocks or aborts
 //	packbench -list               # show the available experiment ids
 //
 // All reported times are virtual machine times under the two-level
@@ -62,6 +63,7 @@ func main() {
 	realGate := flag.Float64("real-gate", 0, "with -backend real: fail unless the measured P=8 speedup over P=1 reaches this factor (auto-skipped when the host has fewer than 8 CPUs)")
 	metricsFlag := flag.Bool("metrics", false, "attach a wall-clock telemetry registry to every measured machine and print the Prometheus exposition after the tables (tables and virtual times are unaffected)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the telemetry registry live over HTTP at this address (/metrics Prometheus text, /vars expvar JSON); implies -metrics")
+	flightDir := flag.String("flight-dir", "", "attach the always-on flight recorder to every measured sweep machine and dump its window (Chrome trace + text post-mortem) into this directory if a machine deadlocks or exhausts a fault budget")
 	flag.Parse()
 
 	if *samples < 1 {
@@ -83,6 +85,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "packbench: -real-gate needs -backend real\n")
 		os.Exit(2)
 	}
+	if err := checkBackendFlags(backend, setFlagNames(flag.CommandLine)); err != nil {
+		fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	suite := bench.NewSuite(*quick, *seed)
 	suite.Workers = *parallel
@@ -102,6 +108,13 @@ func main() {
 			os.Exit(1)
 		}
 		suite.TraceDir = *traceDir
+	}
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: %v\n", err)
+			os.Exit(1)
+		}
+		suite.FlightDir = *flightDir
 	}
 
 	// Telemetry: one registry shared by every measured machine on the
@@ -138,10 +151,6 @@ func main() {
 	// figures are host wall clock, so it shares no machinery (and no
 	// baselines) with the virtual-time sweep below.
 	if backend == transport.BackendReal {
-		if suite.Faults != nil {
-			fmt.Fprintf(os.Stderr, "packbench: fault injection is sim-only; drop -faults or use -backend sim\n")
-			os.Exit(2)
-		}
 		fmt.Printf("packbench: realworld (quick=%v, seed=%d, backend=real)\n", *quick, *seed)
 		env := suite.Environment()
 		fmt.Printf("env: %s\n\n", env)

@@ -15,6 +15,9 @@
 //	packtrace -matrix                          # P×P messages/words, per phase
 //	packtrace -critpath                        # blocking chain from the makespan
 //	packtrace -backend real -format chrome -o wall.json  # wall-clock trace of the real backend
+//	packtrace -jsonl events.jsonl              # stream the event feed as JSON Lines (bounded memory)
+//	packtrace -flight-dir crash                # dump the flight recorder on deadlock or fault abort
+//	packtrace -open crash/pack-cms-p16.flight.trace.json  # text digest of any Chrome trace we wrote
 //
 // With -backend real the same configuration executes on the real
 // shared-memory backend: every timestamp in the output is wall-clock
@@ -69,7 +72,22 @@ func main() {
 	critpath := flag.Bool("critpath", false, "print the virtual-time critical path (blocking chain ending at the makespan)")
 	schedFlag := flag.String("sched", "coop", "emulator scheduling mode: coop (cooperative, deterministic event order) or goroutine (concurrent)")
 	backendFlag := flag.String("backend", "sim", "transport backend: sim traces the virtual-clock emulator, real traces the shared-memory parallel backend in wall-clock microseconds")
+	jsonlPath := flag.String("jsonl", "", "stream every trace event to this file as JSON Lines (one event per line; bounded memory regardless of run size)")
+	flightDir := flag.String("flight-dir", "", "attach the always-on flight recorder and dump its window (Chrome trace + text post-mortem) into this directory if the run deadlocks or exhausts a fault budget")
+	openPath := flag.String("open", "", "open a Chrome trace-event JSON file written by this toolchain (packtrace -format chrome, packbench -trace-dir, or a flight dump) and print a text digest")
 	flag.Parse()
+
+	if *openPath != "" {
+		f, err := os.Open(*openPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.SummarizeChrome(os.Stdout, f); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var scheme pack.Scheme
 	switch *schemeName {
@@ -96,8 +114,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *critpath && backend == transport.BackendReal {
-		log.Fatalf("-critpath is sim-only: the critical path is defined over the virtual cost model, not wall time")
+	if err := checkBackendFlags(backend, setFlagNames(flag.CommandLine)); err != nil {
+		log.Fatal(err)
 	}
 
 	shape, err := parseShape(*shapeFlag)
@@ -116,6 +134,28 @@ func main() {
 	if backend == transport.BackendReal {
 		reg = metrics.NewRegistry()
 	}
+
+	// Streaming sink (-jsonl) and flight recorder (-flight-dir): both
+	// ride the same event feed as the retained capture and work on
+	// either backend.
+	var jsonlFile *os.File
+	var jsonlSink *trace.JSONLSink
+	if *jsonlPath != "" {
+		jsonlFile, err = os.Create(*jsonlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jsonlSink = trace.NewJSONLSink(jsonlFile)
+	}
+	var fr *sim.FlightRecorder
+	if *flightDir != "" {
+		fr = sim.MustNewFlightRecorder(layout.Procs(), sim.DefaultFlightCap)
+	}
+
+	var sink sim.EventSink
+	if jsonlSink != nil {
+		sink = jsonlSink
+	}
 	machine, err := transport.New(backend, sim.Config{
 		Procs:   layout.Procs(),
 		Sched:   sched,
@@ -123,6 +163,8 @@ func main() {
 		Record:  true,
 		Trace:   true,
 		Metrics: reg,
+		Sink:    sink,
+		Flight:  fr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -149,8 +191,31 @@ func main() {
 			panic(err)
 		}
 	})
+	if jsonlSink != nil {
+		// Flush whatever streamed — on a failed run the partial feed is
+		// exactly the evidence worth keeping.
+		if ferr := jsonlSink.Flush(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "packtrace: jsonl sink: %v\n", ferr)
+		}
+		if cerr := jsonlFile.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "packtrace: jsonl sink: %v\n", cerr)
+		}
+	}
 	if err != nil {
+		if fr != nil && trace.ShouldDumpFlight(err) {
+			label := fmt.Sprintf("%s-%s-p%d", *op, scheme, layout.Procs())
+			c := trace.FlightCapture(layout.Procs(), sim.CM5Params(), nil, fr)
+			tp, sp, derr := trace.DumpFlight(*flightDir, label, c, err)
+			if derr != nil {
+				fmt.Fprintf(os.Stderr, "packtrace: flight dump failed: %v\n", derr)
+			} else {
+				fmt.Fprintf(os.Stderr, "packtrace: flight recorder dumped: %s and %s (render with packtrace -open)\n", tp, sp)
+			}
+		}
 		log.Fatal(err)
+	}
+	if jsonlSink != nil {
+		fmt.Fprintf(os.Stderr, "streamed events to %s (JSON Lines)\n", *jsonlPath)
 	}
 	var capture *trace.Capture
 	timeUnit := "virtual time"

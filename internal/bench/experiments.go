@@ -59,6 +59,14 @@ type Suite struct {
 	// executed experiment point into the directory (packbench
 	// -trace-dir). Tables and virtual times are unaffected.
 	TraceDir string
+	// FlightDir, when non-empty, attaches an always-on flight recorder
+	// to every measured PACK/UNPACK machine of the sweep (packbench
+	// -flight-dir) and, if a machine aborts on a structural deadlock or
+	// an exhausted fault-retry budget, dumps the recorder's bounded
+	// event window into the directory (Chrome trace + text post-mortem,
+	// flightdump.go) before the engine panic propagates. Tables and
+	// virtual times are unaffected.
+	FlightDir string
 	// Samples is how many times the instrumented runner repeats each
 	// experiment's warm-cache replay to collect wall-clock samples
 	// (packbench -samples); 0 or 1 measures once. Repeats never re-run
@@ -681,6 +689,7 @@ func (s Suite) Registry() map[string]func() []*Table {
 		"faults":     s.FaultSweep,
 		"planrepeat": s.PlanRepeat,
 		"realworld":  s.RealWorld,
+		"scale1k":    s.Scale1K,
 	}
 }
 
@@ -689,7 +698,7 @@ func (s Suite) Registry() map[string]func() []*Table {
 // paper artifacts, and keeping them out preserves the bit-for-bit
 // stability of the canonical BENCH reports. They run by explicit id
 // (packbench -exp faults).
-var hiddenExperiments = map[string]bool{"faults": true, "realworld": true}
+var hiddenExperiments = map[string]bool{"faults": true, "realworld": true, "scale1k": true}
 
 // ExperimentIDs returns the canonical registry keys in stable order.
 func (s Suite) ExperimentIDs() []string {

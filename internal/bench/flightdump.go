@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"fmt"
+
+	"packunpack/internal/sim"
+	"packunpack/internal/trace"
+)
+
+// FlightDir support (packbench -flight-dir): every measured machine of
+// a sweep runs with the always-on flight recorder attached, and when a
+// machine aborts on one of the failure modes whose evidence lives in
+// the recorder (structural deadlock, exhausted fault-retry budget —
+// trace.ShouldDumpFlight), the bounded per-rank event window is written
+// into the directory before the engine panic propagates. A healthy
+// sweep writes nothing: the recorder costs one branch per event and the
+// dump path never runs.
+
+// dumpFlightOnAbort writes the aborted run's flight window under the
+// suite's FlightDir and returns a message suffix naming the files (or
+// the dump failure), empty when no dump applies. Stats are deliberately
+// nil: the machine died before publishing them, and the dump renderers
+// work from the event window alone.
+func (s Suite) dumpFlightOnAbort(key string, r Run, err error) string {
+	if s.FlightDir == "" || r.Flight == nil || !trace.ShouldDumpFlight(err) {
+		return ""
+	}
+	params := r.Params
+	if params == (sim.Params{}) {
+		params = sim.CM5Params()
+	}
+	c := trace.FlightCapture(r.Layout.Procs(), params, nil, r.Flight)
+	tracePath, summaryPath, derr := trace.DumpFlight(s.FlightDir, key, c, err)
+	if derr != nil {
+		return fmt.Sprintf(" (flight dump failed: %v)", derr)
+	}
+	return fmt.Sprintf(" (flight recorder dumped: %s and %s)", tracePath, summaryPath)
+}

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"packunpack/internal/sim"
 )
 
 // This file is the host-parallel sweep engine. Experiment points are
@@ -293,10 +295,16 @@ func (s Suite) execute(r Run) (met Metrics) {
 }
 
 func (s Suite) executePoint(r Run) Metrics {
+	// With a FlightDir configured, every measured machine carries the
+	// always-on flight recorder; on an abort the bounded window is
+	// dumped before the engine panic propagates (flightdump.go).
+	if s.FlightDir != "" && r.Flight == nil {
+		r.Flight = sim.MustNewFlightRecorder(r.Layout.Procs(), sim.DefaultFlightCap)
+	}
 	if s.TraceDir != "" {
 		m, capture, err := r.ExecuteTrace()
 		if err != nil {
-			panic(fmt.Sprintf("bench: %v", err))
+			panic(fmt.Sprintf("bench: %v%s", err, s.dumpFlightOnAbort(runKey(r), r, err)))
 		}
 		s.counters.record(m)
 		s.dumpTrace(runKey(r), capture)
@@ -304,7 +312,7 @@ func (s Suite) executePoint(r Run) Metrics {
 	}
 	m, err := r.Execute()
 	if err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
+		panic(fmt.Sprintf("bench: %v%s", err, s.dumpFlightOnAbort(runKey(r), r, err)))
 	}
 	s.counters.record(m)
 	return m

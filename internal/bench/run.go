@@ -177,6 +177,18 @@ type Run struct {
 	// stays valid whether or not a registry was attached — the
 	// cross-backend conformance tests pin that invariant.
 	Metrics *metrics.Registry
+	// Flight attaches an always-on flight recorder to the measured
+	// machine (sim.Config.Flight / packbench -flight-dir). Like Metrics,
+	// it is NOT part of the memoization key: the recorder observes the
+	// event feed and never perturbs virtual results. The sweep engine
+	// dumps its window when a machine aborts (parallel.go).
+	Flight *sim.FlightRecorder
+	// Sink attaches a streaming event sink to the measured machine
+	// (sim.Config.Sink) — e.g. trace.NewAggSink for the bounded-memory
+	// P >= 1024 observability sweep (scale1k.go). Like Metrics and
+	// Flight, NOT part of the memoization key, and unlike Trace it
+	// retains no events: memory stays O(P) however long the run.
+	Sink sim.EventSink
 	// failRank is a test seam: when set, it is consulted after the
 	// operation and its non-nil error is reported as that rank's
 	// failure (exercises the any-rank first-error capture).
@@ -238,7 +250,8 @@ func (r Run) exec() (Metrics, *trace.Capture, error) {
 	}
 	machine, err := sim.New(sim.Config{
 		Procs: r.Layout.Procs(), Params: params, SelfSendFree: r.SelfSendFree, Sched: r.Sched,
-		Record: r.Trace, Trace: r.Trace, Faults: r.Faults, Metrics: r.Metrics,
+		Record: r.Trace, Trace: r.Trace, Faults: r.Faults, Metrics: r.Metrics, Flight: r.Flight,
+		Sink: r.Sink,
 	})
 	if err != nil {
 		return Metrics{}, nil, err

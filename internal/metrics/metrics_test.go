@@ -87,6 +87,69 @@ func TestQuantileResolutionBound(t *testing.T) {
 	}
 }
 
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewRegistry().Histogram("h", "").With()
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) on empty histogram = %d, want 0", q, got)
+		}
+	}
+	if got := h.Count(); got != 0 {
+		t.Errorf("Count on empty histogram = %d, want 0", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Errorf("Sum on empty histogram = %d, want 0", got)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewRegistry().Histogram("h", "").With()
+	const v = 7 // linear region: every quantile is exactly the value
+	h.Observe(v)
+	for _, q := range []float64{0, 0.25, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != v {
+			t.Errorf("Quantile(%v) of single observation %d = %d, want %d", q, v, got, v)
+		}
+	}
+	if got, want := h.Count(), int64(1); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	if got, want := h.Sum(), int64(v); got != want {
+		t.Errorf("Sum = %d, want %d", got, want)
+	}
+}
+
+func TestQuantileAllMassInOverflowBucket(t *testing.T) {
+	// MaxInt64 lands in the final bucket, whose upper bound clamps to
+	// MaxInt64 rather than wrapping: every quantile reports that bound.
+	h := NewRegistry().Histogram("h", "").With()
+	for i := 0; i < 3; i++ {
+		h.Observe(math.MaxInt64)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != math.MaxInt64 {
+			t.Errorf("Quantile(%v) with all mass in top bucket = %d, want MaxInt64", q, got)
+		}
+	}
+	if got, want := h.Count(), int64(3); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestObserveNegativeClampsToZero(t *testing.T) {
+	h := NewRegistry().Histogram("h", "").With()
+	h.Observe(-5)
+	if got := h.Quantile(1); got != 0 {
+		t.Errorf("Quantile(1) after negative observation = %d, want 0 (clamped)", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Errorf("Sum after negative observation = %d, want 0 (clamped)", got)
+	}
+	if got, want := h.Count(), int64(1); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+}
+
 func TestCounterShards(t *testing.T) {
 	c := NewRegistry().Counter("c", "").With()
 	for i := 0; i < numShards*3; i++ {

@@ -1,0 +1,74 @@
+// Package report renders packbench perf baselines (BENCH_*.json,
+// schema packbench-perf/v1 through v6) into one self-contained static
+// HTML dashboard: wall-clock and virtual-time trends across baselines,
+// derived-telemetry trends, plan-cache amortization, the paper's
+// scheme-crossover model, and the real-backend speedup curve when a
+// baseline carries one. The output is deterministic byte-for-byte for
+// the same inputs (no timestamps, sorted iteration), which is what
+// makes it golden-testable.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"packunpack/internal/bench"
+)
+
+// File is one loaded baseline: the parsed report plus the short label
+// the dashboard uses on axes ("pr4" for BENCH_pr4.json).
+type File struct {
+	Label  string
+	Path   string
+	Schema int // schema version number (1..), 0 if unparseable suffix
+	Perf   bench.PerfReport
+}
+
+// Load reads one BENCH_*.json baseline. Every schema era v1–v6 decodes
+// into the current bench.PerfReport superset: fields a vintage lacks
+// read as zero values, which the renderer treats as "not measured"
+// rather than zero measurements.
+func Load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var perf bench.PerfReport
+	if err := json.Unmarshal(raw, &perf); err != nil {
+		return nil, fmt.Errorf("report: %s: %w", path, err)
+	}
+	const prefix = "packbench-perf/v"
+	if !strings.HasPrefix(perf.Schema, prefix) {
+		return nil, fmt.Errorf("report: %s: schema %q is not a packbench perf report", path, perf.Schema)
+	}
+	v, err := strconv.Atoi(strings.TrimPrefix(perf.Schema, prefix))
+	if err != nil || v < 1 {
+		return nil, fmt.Errorf("report: %s: malformed schema version %q", path, perf.Schema)
+	}
+	return &File{Label: labelFor(path), Path: path, Schema: v, Perf: perf}, nil
+}
+
+// LoadAll loads the given baselines in order. Order is meaningful: the
+// trend charts read left-to-right as the sequence of PRs.
+func LoadAll(paths []string) ([]*File, error) {
+	files := make([]*File, 0, len(paths))
+	for _, p := range paths {
+		f, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// labelFor derives the short axis label from a baseline path:
+// "BENCH_pr4.json" → "pr4"; anything else keeps its stem.
+func labelFor(path string) string {
+	name := strings.TrimSuffix(filepath.Base(path), ".json")
+	return strings.TrimPrefix(name, "BENCH_")
+}

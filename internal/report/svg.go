@@ -1,0 +1,211 @@
+package report
+
+// Static SVG chart primitives for the dashboard. All geometry is
+// computed here and emitted as plain SVG — the page ships no script;
+// per-mark hover detail rides on native <title> tooltips. Fills and
+// strokes reference CSS custom properties (var(--s1)…var(--s3),
+// var(--grid), var(--ink-muted)) so one SVG serves both the light and
+// dark palettes, each validated separately against its surface.
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// series is one plotted measure: Slot picks the categorical palette
+// slot (1..3, fixed order, never cycled) and NaN values mean "this
+// baseline predates the measure" — the mark is omitted, not zeroed.
+type series struct {
+	Name   string
+	Slot   int
+	Values []float64
+}
+
+const (
+	svgW = 640
+	svgH = 240
+	padL = 62
+	padR = 10
+	padT = 12
+	padB = 30
+
+	plotW = svgW - padL - padR
+	plotH = svgH - padT - padB
+)
+
+// fmtNum renders a value with precision adapted to its magnitude, so
+// axis ticks and table cells stay readable across ms totals in the
+// tens of thousands and fractions in the hundredths.
+func fmtNum(v float64) string {
+	if math.IsNaN(v) {
+		return "—"
+	}
+	av := math.Abs(v)
+	var s string
+	switch {
+	case av >= 100:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case av >= 1:
+		s = strconv.FormatFloat(v, 'f', 2, 64)
+	default:
+		s = strconv.FormatFloat(v, 'f', 3, 64)
+	}
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// niceTicks returns ascending y ticks from 0 past max with a 1/2/5
+// step, so gridlines land on round numbers.
+func niceTicks(max float64) []float64 {
+	if max <= 0 {
+		max = 1
+	}
+	raw := max / 4
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag <= 1:
+		step = mag
+	case raw/mag <= 2:
+		step = 2 * mag
+	case raw/mag <= 5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	ticks := []float64{0}
+	for t := step; ; t += step {
+		ticks = append(ticks, t)
+		if t >= max {
+			break
+		}
+	}
+	return ticks
+}
+
+// maxValue scans every finite value across the series.
+func maxValue(ss []series) float64 {
+	max := 0.0
+	for _, s := range ss {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+func coord(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// frame emits the shared chart scaffolding — horizontal gridlines with
+// tick labels, the baseline axis, and the categorical x labels — and
+// returns the resolved y scale.
+func frame(sb *strings.Builder, labels []string, ticks []float64) (yOf func(float64) float64) {
+	top := ticks[len(ticks)-1]
+	yOf = func(v float64) float64 {
+		return padT + plotH*(1-v/top)
+	}
+	for _, t := range ticks {
+		y := coord(yOf(t))
+		sb.WriteString(`<line x1="` + coord(padL) + `" y1="` + y +
+			`" x2="` + coord(padL+plotW) + `" y2="` + y +
+			`" stroke="var(--grid)" stroke-width="1"/>`)
+		sb.WriteString(`<text x="` + coord(padL-6) + `" y="` + y +
+			`" dy="0.32em" text-anchor="end" class="tick">` + html.EscapeString(fmtNum(t)) + `</text>`)
+	}
+	band := float64(plotW) / float64(len(labels))
+	for i, l := range labels {
+		x := coord(padL + band*(float64(i)+0.5))
+		sb.WriteString(`<text x="` + x + `" y="` + coord(svgH-8) +
+			`" text-anchor="middle" class="tick">` + html.EscapeString(l) + `</text>`)
+	}
+	return yOf
+}
+
+func svgOpen(sb *strings.Builder, alt string) {
+	fmt.Fprintf(sb, `<svg viewBox="0 0 %d %d" role="img" aria-label="%s">`, svgW, svgH, html.EscapeString(alt))
+}
+
+// barChartSVG renders grouped vertical bars: one band per label, one
+// bar per series inside it, 2px gaps between group members, 4px-radius
+// data ends anchored to the baseline.
+func barChartSVG(alt, unit string, labels []string, ss []series) string {
+	var sb strings.Builder
+	svgOpen(&sb, alt)
+	yOf := frame(&sb, labels, niceTicks(maxValue(ss)))
+	band := float64(plotW) / float64(len(labels))
+	k := float64(len(ss))
+	barW := (band*0.6 - 2*(k-1)) / k
+	if barW > 36 {
+		barW = 36
+	}
+	groupW := barW*k + 2*(k-1)
+	for i, label := range labels {
+		x0 := padL + band*(float64(i)+0.5) - groupW/2
+		for j, s := range ss {
+			v := s.Values[i]
+			if math.IsNaN(v) {
+				continue
+			}
+			y := yOf(v)
+			h := float64(padT+plotH) - y
+			if h < 1 {
+				h = 1
+				y = float64(padT+plotH) - 1
+			}
+			x := x0 + float64(j)*(barW+2)
+			fmt.Fprintf(&sb, `<rect x="%s" y="%s" width="%s" height="%s" rx="4" fill="var(--s%d)">`,
+				coord(x), coord(y), coord(barW), coord(h), s.Slot)
+			fmt.Fprintf(&sb, `<title>%s · %s: %s %s</title></rect>`,
+				html.EscapeString(label), html.EscapeString(s.Name), fmtNum(v), unit)
+		}
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+// lineChartSVG renders one 2px polyline per series with ≥8px markers
+// ringed by the surface color; NaN values break the line — a gap in
+// the record, not a zero.
+func lineChartSVG(alt, unit string, labels []string, ss []series) string {
+	var sb strings.Builder
+	svgOpen(&sb, alt)
+	yOf := frame(&sb, labels, niceTicks(maxValue(ss)))
+	band := float64(plotW) / float64(len(labels))
+	xOf := func(i int) float64 { return padL + band*(float64(i)+0.5) }
+	for _, s := range ss {
+		var pts []string
+		flush := func() {
+			if len(pts) >= 2 {
+				fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="var(--s%d)" stroke-width="2"/>`,
+					strings.Join(pts, " "), s.Slot)
+			}
+			pts = pts[:0]
+		}
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				flush()
+				continue
+			}
+			pts = append(pts, coord(xOf(i))+","+coord(yOf(v)))
+		}
+		flush()
+	}
+	for _, s := range ss {
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			fmt.Fprintf(&sb, `<circle cx="%s" cy="%s" r="4" fill="var(--s%d)" stroke="var(--surface)" stroke-width="2">`,
+				coord(xOf(i)), coord(yOf(v)), s.Slot)
+			fmt.Fprintf(&sb, `<title>%s · %s: %s %s</title></circle>`,
+				html.EscapeString(labels[i]), html.EscapeString(s.Name), fmtNum(v), unit)
+		}
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}

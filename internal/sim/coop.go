@@ -197,7 +197,7 @@ func (c *coopSched) deadlockDiagnostic(m *Machine) error {
 		fmt.Fprintf(&sb, "processor %d waits for (src=%d, tag=%d) with %d queued messages, none matching",
 			r, w.src, w.tag, len(m.boxes[r].queue))
 	}
-	return fmt.Errorf("sim: deadlock: all %d live processors blocked on receives no send will ever satisfy: %s", blocked, sb.String())
+	return fmt.Errorf("%w: all %d live processors blocked on receives no send will ever satisfy: %s", ErrDeadlock, blocked, sb.String())
 }
 
 // runCoop executes body under the cooperative scheduler.

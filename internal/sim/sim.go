@@ -145,6 +145,13 @@ type Config struct {
 	// New validates the plan and stores a normalized private copy. Nil
 	// leaves every communication primitive exact.
 	Faults *FaultConfig
+	// Flight, when non-nil, keeps the most recent events of every rank
+	// in fixed-size ring buffers (flight.go) — a bounded post-mortem
+	// window that stays affordable on long runs where full tracing is
+	// not. On a failed run, snapshot it and hand the rings to
+	// internal/trace's flight dumper. Independent of Trace and Sink;
+	// any combination works.
+	Flight *FlightRecorder
 }
 
 // Span is one recorded interval of a processor timeline: [Start, End)
@@ -205,6 +212,14 @@ func (b *mailbox) removeAt(i int) message {
 	return m
 }
 
+// ErrDeadlock is the sentinel every deadlock-shaped run error matches
+// via errors.Is: the goroutine-mode per-rank unwind, the cooperative
+// scheduler's machine-level wait-for diagnostic, and the real
+// backend's watchdog abort all identify as ErrDeadlock. Callers (the
+// bench harness's flight-recorder dump trigger, tests) should test
+// errors.Is(err, sim.ErrDeadlock) rather than matching message text.
+var ErrDeadlock = errors.New("sim: deadlock")
+
 // deadlockError is the panic value raised in a processor that is
 // unblocked because the machine is wedged (the cooperative scheduler
 // proved it, or the goroutine-mode monitor tripped). Run recognizes it
@@ -216,6 +231,9 @@ type deadlockError struct {
 func (e deadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock: processor %d waiting for a message from %d with tag %d that can never arrive", e.rank, e.src, e.tag)
 }
+
+// Is makes errors.Is(err, ErrDeadlock) hold for per-rank unwinds.
+func (e deadlockError) Is(target error) bool { return target == ErrDeadlock }
 
 // take removes and returns the first message matching (src, tag),
 // blocking until one arrives. Messages from a given source with a given
@@ -427,6 +445,9 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	cfg.Faults = faults
+	if cfg.Flight != nil && cfg.Flight.Procs() < cfg.Procs {
+		return nil, fmt.Errorf("sim: flight recorder built for %d ranks cannot cover P=%d", cfg.Flight.Procs(), cfg.Procs)
+	}
 	m := &Machine{cfg: cfg, boxes: make([]*mailbox, cfg.Procs)}
 	for i := range m.boxes {
 		m.boxes[i] = newMailbox()

@@ -175,9 +175,10 @@ func MsgIDSrc(id uint64) int { return int(id >> 40) }
 // send→receive flows identically.
 func MakeMsgID(rank int, n uint64) uint64 { return msgID(rank, n) }
 
-// tracing reports whether the processor records events.
+// tracing reports whether the processor records events (full buffers,
+// a streaming sink, or just the flight recorder's bounded window).
 func (p *Proc) tracing() bool {
-	return p.m.cfg.Trace || p.m.cfg.Sink != nil
+	return p.m.cfg.Trace || p.m.cfg.Sink != nil || p.m.cfg.Flight != nil
 }
 
 // nextSeq returns the next event sequence number: machine-global (and
@@ -205,6 +206,9 @@ func (p *Proc) emit(ev Event) {
 	}
 	if p.m.cfg.Sink != nil {
 		p.m.cfg.Sink.Emit(ev)
+	}
+	if p.m.cfg.Flight != nil {
+		p.m.cfg.Flight.note(ev)
 	}
 }
 

@@ -2,8 +2,10 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"packunpack/internal/sim"
 )
@@ -166,4 +168,108 @@ func WriteChrome(w io.Writer, c *Capture) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(chromeFile{DisplayTimeUnit: "ms", TraceEvents: evs})
+}
+
+// SummarizeChrome reads a Chrome trace-event JSON file this repo wrote
+// (packtrace -format chrome, packbench -trace-dir, or a flight-recorder
+// dump) and renders a text digest: overall event count and time window,
+// then one line per thread track with its slice/flow/instant counts.
+// This is what `packtrace -open` uses, so a post-mortem dump can be
+// inspected without leaving the terminal.
+func SummarizeChrome(w io.Writer, r io.Reader) error {
+	var f chromeFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("trace: not a Chrome trace-event file: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return errors.New("trace: Chrome file has no traceEvents")
+	}
+
+	type track struct {
+		name                           string
+		slices, sends, recvs, instants int
+		lo, hi                         float64
+		seen                           bool
+	}
+	tracks := map[int]*track{}
+	get := func(tid int) *track {
+		t := tracks[tid]
+		if t == nil {
+			t = &track{}
+			tracks[tid] = t
+		}
+		return t
+	}
+	see := func(t *track, ts float64) {
+		if !t.seen || ts < t.lo {
+			t.lo = ts
+		}
+		if !t.seen || ts > t.hi {
+			t.hi = ts
+		}
+		t.seen = true
+	}
+	var total int
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" && e.Args != nil {
+				get(e.Tid).name = e.Args.Name
+			}
+			continue
+		case "X":
+			t := get(e.Tid)
+			t.slices++
+			see(t, e.Ts)
+			see(t, e.Ts+e.Dur)
+		case "s":
+			t := get(e.Tid)
+			t.sends++
+			see(t, e.Ts)
+		case "f":
+			t := get(e.Tid)
+			t.recvs++
+			see(t, e.Ts)
+		case "i":
+			t := get(e.Tid)
+			t.instants++
+			see(t, e.Ts)
+		default:
+			continue
+		}
+		total++
+	}
+
+	tids := make([]int, 0, len(tracks))
+	var lo, hi float64
+	first := true
+	for tid, t := range tracks {
+		tids = append(tids, tid)
+		if !t.seen {
+			continue
+		}
+		if first || t.lo < lo {
+			lo = t.lo
+		}
+		if first || t.hi > hi {
+			hi = t.hi
+		}
+		first = false
+	}
+	sort.Ints(tids)
+	fmt.Fprintf(w, "chrome trace: %d events on %d tracks, window [%.3f, %.3f] µs\n", total, len(tids), lo, hi)
+	for _, tid := range tids {
+		t := tracks[tid]
+		name := t.name
+		if name == "" {
+			name = fmt.Sprintf("tid%d", tid)
+		}
+		fmt.Fprintf(w, "  %-6s %4d slices, %4d sends, %4d recvs, %4d instants",
+			name, t.slices, t.sends, t.recvs, t.instants)
+		if t.seen {
+			fmt.Fprintf(w, ", window [%.3f, %.3f]", t.lo, t.hi)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
 }

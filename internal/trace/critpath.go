@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -109,21 +110,37 @@ func (c *Capture) attribute(seg *Segment) {
 	}
 }
 
+// ErrNoEvents reports a capture without structured events; the matrix
+// degrades to empty, but the critical path genuinely needs the chain.
+var ErrNoEvents = errors.New("trace: no events in capture")
+
+// ErrNoStats reports a capture without per-processor statistics.
+var ErrNoStats = errors.New("trace: capture has no statistics")
+
+// ErrMalformedCapture reports a capture whose events reference ranks
+// outside [0, Procs) — truncated or mixed streams.
+var ErrMalformedCapture = errors.New("trace: malformed capture")
+
 // CriticalPath walks the blocking chain backwards from the max-clock
 // processor. It needs a capture taken with both Config.Trace (events,
 // for the chain) and Config.Record (spans, for phase attribution).
+// Degenerate captures return typed errors (ErrNoEvents, ErrNoStats,
+// ErrMalformedCapture), never panic.
 func CriticalPath(c *Capture) (*CritReport, error) {
-	if !c.HasEvents() {
-		return nil, fmt.Errorf("trace: no events in capture (was sim.Config.Trace set?)")
+	if c.Procs < 1 || !c.HasEvents() {
+		return nil, fmt.Errorf("%w (was sim.Config.Trace set?)", ErrNoEvents)
 	}
 	if len(c.Stats) == 0 {
-		return nil, fmt.Errorf("trace: capture has no statistics")
+		return nil, ErrNoStats
 	}
 
 	// Per-rank blocking wakes, in time order (event rows already are).
 	wakes := make([][]sim.Event, c.Procs)
 	var totalEvents int
 	for rank, row := range c.Events {
+		if rank >= c.Procs {
+			return nil, fmt.Errorf("%w: event row %d beyond P=%d", ErrMalformedCapture, rank, c.Procs)
+		}
 		totalEvents += len(row)
 		for _, e := range row {
 			if e.Kind == sim.EvRecvWake && e.Dur > 0 {
@@ -137,6 +154,9 @@ func CriticalPath(c *Capture) (*CritReport, error) {
 		if s.Clock > r.Makespan {
 			r.Makespan, r.EndRank = s.Clock, rank
 		}
+	}
+	if r.EndRank >= c.Procs {
+		return nil, fmt.Errorf("%w: stats row %d beyond P=%d", ErrMalformedCapture, r.EndRank, c.Procs)
 	}
 
 	cur, t := r.EndRank, r.Makespan
@@ -157,6 +177,9 @@ func CriticalPath(c *Capture) (*CritReport, error) {
 			break
 		}
 		w := ws[i]
+		if w.Peer < 0 || w.Peer >= c.Procs {
+			return nil, fmt.Errorf("%w: wake on rank %d names peer %d outside P=%d", ErrMalformedCapture, cur, w.Peer, c.Procs)
+		}
 		seg.Start = w.Time
 		seg.MsgFrom, seg.MsgTag, seg.MsgWords, seg.MsgID = w.Peer, w.Tag, w.Words, w.MsgID
 		r.Segments = append(r.Segments, seg)

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"packunpack/internal/sim"
+)
+
+// TestDegenerateCaptures pins that the exporters never panic on
+// empty, zero-event, or malformed captures: they return zero values
+// (Makespan, BuildMatrix) or typed errors (CriticalPath).
+func TestDegenerateCaptures(t *testing.T) {
+	wake := func(peer int) sim.Event {
+		return sim.Event{Kind: sim.EvRecvWake, Rank: 0, Peer: peer, Time: 5, Dur: 5, MsgID: 1}
+	}
+	cases := []struct {
+		name         string
+		c            *Capture
+		wantMakespan float64
+		wantMsgs     int64
+		wantCritErr  error // nil means CriticalPath must succeed
+	}{
+		{
+			name:        "zero value",
+			c:           &Capture{},
+			wantCritErr: ErrNoEvents,
+		},
+		{
+			name:        "negative procs",
+			c:           &Capture{Procs: -3},
+			wantCritErr: ErrNoEvents,
+		},
+		{
+			name:        "procs without events",
+			c:           &Capture{Procs: 4, Stats: make([]sim.Stats, 4)},
+			wantCritErr: ErrNoEvents,
+		},
+		{
+			name:         "events without stats",
+			c:            &Capture{Procs: 1, Events: [][]sim.Event{{{Kind: sim.EvSend, Rank: 0, Peer: 0, Words: 2, Dur: 1}}}},
+			wantMakespan: 0,
+			wantMsgs:     1,
+			wantCritErr:  ErrNoStats,
+		},
+		{
+			name: "peer outside machine",
+			c: &Capture{
+				Procs:  1,
+				Stats:  []sim.Stats{{Clock: 10}},
+				Events: [][]sim.Event{{{Kind: sim.EvSend, Rank: 0, Peer: 7, Words: 3}, wake(7)}},
+			},
+			wantMakespan: 10,
+			wantMsgs:     0, // out-of-range send skipped
+			wantCritErr:  ErrMalformedCapture,
+		},
+		{
+			name: "more event rows than procs",
+			c: &Capture{
+				Procs:  1,
+				Stats:  []sim.Stats{{Clock: 1}},
+				Events: [][]sim.Event{{}, {{Kind: sim.EvSend, Rank: 1, Peer: 0, Words: 1}}},
+			},
+			wantMakespan: 1,
+			wantMsgs:     0,
+			wantCritErr:  ErrMalformedCapture,
+		},
+		{
+			name: "healthy minimal capture",
+			c: &Capture{
+				Procs: 1,
+				Stats: []sim.Stats{{Clock: 3}},
+				Events: [][]sim.Event{{
+					{Kind: sim.EvCharge, Rank: 0, Ops: 2, Time: 3, Dur: 3},
+				}},
+			},
+			wantMakespan: 3,
+			wantMsgs:     0,
+			wantCritErr:  nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.c.Makespan(); got != tc.wantMakespan {
+				t.Fatalf("Makespan = %v, want %v", got, tc.wantMakespan)
+			}
+			m := BuildMatrix(tc.c)
+			msgs, _ := m.Total.Totals()
+			if msgs != tc.wantMsgs {
+				t.Fatalf("BuildMatrix total msgs = %d, want %d", msgs, tc.wantMsgs)
+			}
+			r, err := CriticalPath(tc.c)
+			if tc.wantCritErr != nil {
+				if !errors.Is(err, tc.wantCritErr) {
+					t.Fatalf("CriticalPath err = %v, want %v", err, tc.wantCritErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("CriticalPath: %v", err)
+			}
+			if r.Makespan != tc.wantMakespan {
+				t.Fatalf("CriticalPath makespan = %v, want %v", r.Makespan, tc.wantMakespan)
+			}
+		})
+	}
+}

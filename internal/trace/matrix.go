@@ -45,19 +45,31 @@ type CommMatrix struct {
 // messages (EvDeliver without a matching EvSend) are uncharged traffic
 // and are deliberately excluded, which keeps the totals reconcilable
 // with Stats.MsgsSent/WordsSent.
+//
+// Degenerate captures are safe: a zero-processor or event-free capture
+// yields an empty matrix, and events whose rank or peer falls outside
+// [0, Procs) — a malformed or truncated capture — are skipped rather
+// than crashing the exporter.
 func BuildMatrix(c *Capture) *CommMatrix {
-	m := &CommMatrix{P: c.Procs, Total: newCells(c.Procs), ByPhase: map[string]*MatrixCells{}}
+	p := c.Procs
+	if p < 0 {
+		p = 0
+	}
+	m := &CommMatrix{P: p, Total: newCells(p), ByPhase: map[string]*MatrixCells{}}
 	for src, row := range c.Events {
+		if src >= p {
+			break
+		}
 		for _, e := range row {
-			if e.Kind != sim.EvSend {
+			if e.Kind != sim.EvSend || e.Peer < 0 || e.Peer >= p {
 				continue
 			}
-			i := src*c.Procs + e.Peer
+			i := src*p + e.Peer
 			m.Total.Msgs[i]++
 			m.Total.Words[i] += int64(e.Words)
 			ph := m.ByPhase[e.Phase]
 			if ph == nil {
-				ph = newCells(c.Procs)
+				ph = newCells(p)
 				m.ByPhase[e.Phase] = ph
 			}
 			ph.Msgs[i]++

@@ -73,6 +73,11 @@ type RealConfig struct {
 	// produced. Ranks call Emit concurrently (like the emulator's
 	// goroutine mode); the sink must be safe for that.
 	Sink sim.EventSink
+	// Flight, when non-nil, keeps the most recent events of every rank
+	// in fixed-size ring buffers (sim/flight.go) regardless of Trace —
+	// the bounded post-mortem window the watchdog-abort dump path
+	// reads. Ranks write disjoint rings, so no locking is needed.
+	Flight *sim.FlightRecorder
 }
 
 // RealMachine is a Machine whose processors run genuinely in parallel
@@ -111,6 +116,13 @@ func (e *realDeadlockError) Error() string {
 	return fmt.Sprintf("transport: deadlock: processor %d waiting for a message from %d with tag %d that never arrives", e.rank, e.src, e.tag)
 }
 
+// Is makes errors.Is(err, sim.ErrDeadlock) hold for genuine watchdog
+// aborts. Peer-panic unwinds are collateral of another failure, not a
+// deadlock, so they do not match.
+func (e *realDeadlockError) Is(target error) bool {
+	return target == sim.ErrDeadlock && !e.peerPanic
+}
+
 // NewReal builds a real shared-memory machine.
 func NewReal(cfg RealConfig) (*RealMachine, error) {
 	if cfg.Procs < 1 {
@@ -118,6 +130,9 @@ func NewReal(cfg RealConfig) (*RealMachine, error) {
 	}
 	if cfg.Params.Tau < 0 || cfg.Params.Mu < 0 || cfg.Params.Delta < 0 {
 		return nil, fmt.Errorf("transport: negative cost parameters %+v", cfg.Params)
+	}
+	if cfg.Flight != nil && cfg.Flight.Procs() < cfg.Procs {
+		return nil, fmt.Errorf("transport: flight recorder built for %d ranks cannot cover P=%d", cfg.Flight.Procs(), cfg.Procs)
 	}
 	m := &RealMachine{cfg: cfg, queues: make([][]*spscQueue, cfg.Procs)}
 	for s := range m.queues {
@@ -177,7 +192,7 @@ func (m *RealMachine) Run(body func(Endpoint)) error {
 			pending: make([][]rmsg, n),
 			phase:   "default",
 			stats:   sim.Stats{Rank: i, Phases: make(map[string]sim.PhaseStats)},
-			tr:      m.cfg.Trace || m.cfg.Sink != nil,
+			tr:      m.cfg.Trace || m.cfg.Sink != nil || m.cfg.Flight != nil,
 		}
 		if m.cfg.Metrics != nil {
 			procs[i].met = newProcMeters(m.cfg.Metrics, i, n, "default", 0)

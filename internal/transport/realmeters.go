@@ -167,6 +167,9 @@ func (p *realProc) emit(ev sim.Event) {
 	if p.m.cfg.Sink != nil {
 		p.m.cfg.Sink.Emit(ev)
 	}
+	if p.m.cfg.Flight != nil {
+		p.m.cfg.Flight.Note(ev)
+	}
 }
 
 // Events returns the wall-clock structured event streams of the most

@@ -190,7 +190,7 @@ func New(b Backend, cfg sim.Config) (Machine, error) {
 		}
 		return NewReal(RealConfig{
 			Procs: cfg.Procs, Params: cfg.Params, Metrics: cfg.Metrics,
-			Trace: cfg.Trace || cfg.Record, Sink: cfg.Sink,
+			Trace: cfg.Trace || cfg.Record, Sink: cfg.Sink, Flight: cfg.Flight,
 		})
 	}
 	return nil, fmt.Errorf("transport: unknown backend %v", b)

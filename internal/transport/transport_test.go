@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -246,6 +247,57 @@ func TestRealMachineDeadlockDetected(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "deadlock") {
 		t.Fatalf("Run = %v, want deadlock diagnosis", err)
+	}
+	if !errors.Is(err, sim.ErrDeadlock) {
+		t.Fatalf("watchdog abort %v does not match sim.ErrDeadlock", err)
+	}
+}
+
+// TestRealMachineFlightRecorder pins that a flight recorder attached
+// to the real backend fills from the emit path (without Trace) and
+// still holds the final exchanges after a watchdog abort.
+func TestRealMachineFlightRecorder(t *testing.T) {
+	fr := sim.MustNewFlightRecorder(2, 32)
+	m := MustNewReal(RealConfig{Procs: 2, Flight: fr})
+	err := m.Run(func(e Endpoint) {
+		if e.Rank() == 0 {
+			e.SendInts(1, 1, []int{42})
+			e.Recv(1, 9) // never sent: wedged after one real exchange
+		} else {
+			e.RecvInts(0, 1)
+		}
+	})
+	if !errors.Is(err, sim.ErrDeadlock) {
+		t.Fatalf("Run = %v, want a sim.ErrDeadlock match", err)
+	}
+	snap := fr.Snapshot()
+	if len(snap[0]) == 0 || len(snap[1]) == 0 {
+		t.Fatalf("flight rings empty after abort: %d/%d events", len(snap[0]), len(snap[1]))
+	}
+	last := snap[0][len(snap[0])-1]
+	if last.Kind != sim.EvRecvBlock || last.Peer != 1 || last.Tag != 9 {
+		t.Fatalf("rank 0 last flight event = %+v, want the fatal recv-block on (src=1, tag=9)", last)
+	}
+	for r, row := range m.Events() {
+		if len(row) != 0 {
+			t.Fatalf("rank %d kept %d full-trace events without RealConfig.Trace", r, len(row))
+		}
+	}
+}
+
+// TestRealPeerPanicIsNotDeadlock pins that peer-panic unwinds do NOT
+// match sim.ErrDeadlock: the flight-dump trigger must not classify a
+// root-cause panic as a deadlock.
+func TestRealPeerPanicIsNotDeadlock(t *testing.T) {
+	m := MustNewReal(RealConfig{Procs: 2})
+	err := m.Run(func(e Endpoint) {
+		if e.Rank() == 0 {
+			panic("root cause")
+		}
+		e.Recv(0, 1)
+	})
+	if err == nil || errors.Is(err, sim.ErrDeadlock) {
+		t.Fatalf("Run = %v, want a non-deadlock root-cause error", err)
 	}
 }
 
