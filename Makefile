@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate planbench realbench real-race fuzz-short fault-race metricscheck reportcheck ci
+.PHONY: all build vet staticcheck test race bench smoke smoke-trace validate-perf perfgate planbench realbench real-race fuzz-short fault-race metricscheck reportcheck servgate ci
 
 all: build
 
@@ -48,7 +48,7 @@ smoke-trace:
 # failure, and jsoncheck re-verifies from a separate process).
 validate-perf:
 	$(GO) run ./cmd/packbench -exp fig3 -quick -parallel 2 -json /tmp/packbench-perf.json >/dev/null
-	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-perf.json schema=packbench-perf/v6
+	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-perf.json schema=packbench-perf/v7
 
 # perfgate is the CI perf-regression gate: re-run the full quick sweep
 # and diff it against the committed baseline with cmd/packdiff. Virtual
@@ -61,12 +61,12 @@ validate-perf:
 # only between serial runs (worker completion order perturbs float
 # accumulation; see DESIGN.md §10). -samples 5 gives each row robust
 # wall statistics.
-PERFGATE_BASELINE ?= BENCH_pr8.json
+PERFGATE_BASELINE ?= BENCH_pr10.json
 PERFGATE_OUT      ?= /tmp/packbench-perfgate.json
 PERFGATE_DELTA    ?= /tmp/packdiff-delta.md
 perfgate:
 	$(GO) run ./cmd/packbench -exp all -quick -seed 1 -parallel 1 -sched coop \
-		-samples 5 -json $(PERFGATE_OUT) >/dev/null
+		-samples 5 -service 1000000 -json $(PERFGATE_OUT) >/dev/null
 	$(GO) run ./cmd/packdiff -o $(PERFGATE_DELTA) $(PERFGATE_BASELINE) $(PERFGATE_OUT)
 
 # planbench is the plan-cache acceptance gate: the repeat-traffic
@@ -115,13 +115,13 @@ fault-race:
 
 # metricscheck proves the telemetry layer end to end: the metrics
 # package's own suite (golden Prometheus exposition, nil fast path,
-# race hammer), a v6 perf report from the real backend validated by
-# jsoncheck, and a wall-clock Chrome trace of the real backend that
-# parses as trace-event JSON.
+# race hammer), a current-schema perf report from the real backend
+# validated by jsoncheck, and a wall-clock Chrome trace of the real
+# backend that parses as trace-event JSON.
 metricscheck:
 	$(GO) test ./internal/metrics/
 	$(GO) run ./cmd/packbench -backend real -quick -seed 1 -json /tmp/packbench-real-perf.json >/dev/null
-	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-real-perf.json schema=packbench-perf/v6
+	$(GO) run ./internal/tools/jsoncheck /tmp/packbench-real-perf.json schema=packbench-perf/v7
 	$(GO) run ./cmd/packtrace -backend real -shape 4096 -dist "CYCLIC(4) ONTO 8" -format chrome -o /tmp/packtrace-real.json
 	$(GO) run ./internal/tools/jsoncheck /tmp/packtrace-real.json traceEvents
 
@@ -139,11 +139,29 @@ reportcheck:
 	$(GO) test ./internal/bench/ -run 'FlightDump'
 	$(GO) run ./cmd/packreport -o /tmp/packreport.html \
 		BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json \
-		BENCH_pr5.json BENCH_pr6.json BENCH_pr8.json
+		BENCH_pr5.json BENCH_pr6.json BENCH_pr8.json BENCH_pr10.json
 	grep -q "Scheme crossover model" /tmp/packreport.html
+	grep -q "Serving traffic" /tmp/packreport.html
 	$(GO) run ./cmd/packtrace -shape 4096 -dist "CYCLIC(4) ONTO 8" \
 		-jsonl /tmp/packtrace-feed.jsonl -format chrome -o /tmp/packtrace-open.json
 	test -s /tmp/packtrace-feed.jsonl
 	$(GO) run ./cmd/packtrace -open /tmp/packtrace-open.json
 
-ci: vet staticcheck build race real-race smoke smoke-trace validate-perf perfgate planbench realbench metricscheck reportcheck
+# servgate is the serving-layer acceptance gate, in two deterministic
+# halves. The first is the latency gate: packserve replays the 1M-
+# request open-loop arrival process through the discrete-event latency
+# model (pure virtual time, seconds of wall clock), prints p50/p99/p999
+# and fails when the p99 exceeds the threshold — the figures are a pure
+# function of the seed, so the gate cannot flake. The second is the
+# byte-correctness soak: the same arrival stream really executes
+# against the concurrent server on the emulator, and every response is
+# compared byte-for-byte with the sequential reference (small layouts
+# keep 1M requests to minutes; override SERVSOAK_REQUESTS to trim).
+SERVGATE_REQUESTS ?= 1000000
+SERVGATE_P99_US   ?= 6000
+SERVSOAK_REQUESTS ?= 1000000
+servgate:
+	$(GO) run ./cmd/packserve -requests $(SERVGATE_REQUESTS) -seed 1 -gate-p99 $(SERVGATE_P99_US)
+	$(GO) run ./cmd/packserve -requests $(SERVSOAK_REQUESTS) -seed 1 -soak -mix small
+
+ci: vet staticcheck build race real-race smoke smoke-trace validate-perf perfgate planbench realbench metricscheck reportcheck servgate

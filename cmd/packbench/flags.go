@@ -20,6 +20,7 @@ var simOnlyFlags = map[string]string{
 	"plan-gate":  "the plan-cache amortization measurement runs on the virtual-time sweep",
 	"flight-dir": "the sweep flight recorder covers the virtual-time experiment grid; use packtrace -backend real -flight-dir for one real run",
 	"exp":        "the real backend runs the fixed realworld experiment family",
+	"service":    "the serving-layer soak's latency model runs in virtual time on the emulator; use packserve -backend real for a wall-clock serving run",
 }
 
 // setFlagNames returns the names of the flags explicitly set on the

@@ -40,6 +40,7 @@ import (
 
 	"packunpack/internal/bench"
 	"packunpack/internal/metrics"
+	"packunpack/internal/serve/loadgen"
 	"packunpack/internal/sim"
 	"packunpack/internal/transport"
 )
@@ -64,6 +65,7 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "attach a wall-clock telemetry registry to every measured machine and print the Prometheus exposition after the tables (tables and virtual times are unaffected)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the telemetry registry live over HTTP at this address (/metrics Prometheus text, /vars expvar JSON); implies -metrics")
 	flightDir := flag.String("flight-dir", "", "attach the always-on flight recorder to every measured sweep machine and dump its window (Chrome trace + text post-mortem) into this directory if a machine deadlocks or exhausts a fault budget")
+	serviceN := flag.Int("service", 0, "run the serving-layer soak with this many seeded arrivals (loadgen DES over internal/serve; deterministic virtual latency quantiles, schema v7 service object in -json reports)")
 	flag.Parse()
 
 	if *samples < 1 {
@@ -326,6 +328,34 @@ func main() {
 		}
 	}
 
+	// The service soak is the loadgen discrete-event model over
+	// internal/serve: byte-verifies the workload mix against the
+	// sequential reference, then replays the seeded arrival schedule.
+	// Its outputs are deterministic virtual time, reported in the v7
+	// "service" object and exact-compared by packdiff.
+	var servicePerf *bench.ServicePerf
+	if *serviceN > 0 {
+		lr, err := loadgen.Run(loadgen.Config{Seed: *seed, Requests: *serviceN, Sched: sched})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "packbench: service soak: %v\n", err)
+			os.Exit(1)
+		}
+		servicePerf = &bench.ServicePerf{
+			Seed: lr.Seed, Requests: lr.Requests, Admitted: lr.Admitted,
+			Overloaded: lr.Overloaded, Workers: 8, Queue: 256,
+			RatePerSec: lr.RatePerSec, DurationUS: lr.DurationUS,
+			ThroughputRPS: lr.ThroughputRPS,
+			P50US:         lr.P50US, P99US: lr.P99US, P999US: lr.P999US, SumUS: lr.SumUS,
+		}
+		for _, c := range lr.Classes {
+			servicePerf.Classes = append(servicePerf.Classes, bench.ServiceClassPerf{
+				Name: c.Name, Weight: c.Weight, ServiceUS: c.ServiceUS, Arrivals: c.Arrivals,
+			})
+		}
+		fmt.Printf("service: %d requests at %.1f req/s — admitted %d, overloaded %d, p50/p99/p999 %d/%d/%d virtual µs (checksum %d)\n",
+			lr.Requests, lr.RatePerSec, lr.Admitted, lr.Overloaded, lr.P50US, lr.P99US, lr.P999US, lr.SumUS)
+	}
+
 	// The header carries the environment fingerprint and sample count
 	// so a pasted table is self-describing: virtual times are
 	// host-independent, but anyone comparing the wall figures needs to
@@ -362,6 +392,7 @@ func main() {
 			Experiments: perfs,
 			Total:       bench.SumPerf(perfs),
 			PlanRepeat:  planPerf,
+			Service:     servicePerf,
 		}
 		writeReport(*jsonPath, report)
 	}

@@ -1,5 +1,5 @@
 // Command packdiff compares two packbench perf reports (schema
-// packbench-perf/v1 through v6) under the pipeline's exact-vs-noisy
+// packbench-perf/v1 through v7) under the pipeline's exact-vs-noisy
 // rule:
 //
 //   - virtual_ms and the derived registry means are exact replays of
@@ -30,10 +30,13 @@
 // Schema skew is tolerated: when the two reports carry different
 // schema versions or experiment grids (a newer schema typically adds
 // experiments — v5 added planrepeat and the plan_repeat object, v6
-// the real_world telemetry object and new derived keys), the
-// fields and aggregate rows that do not measure the same work are
-// warned about and skipped, while every shared per-experiment row is
-// still compared exactly.
+// the real_world telemetry object and new derived keys, v7 the
+// service soak object), the fields and aggregate rows that do not
+// measure the same work are warned about and skipped, while every
+// shared per-experiment row is still compared exactly. The v7 service
+// object is itself deterministic virtual time: when both reports
+// carry one under the same configuration it is compared exactly and
+// drifts fail the gate like any virtual metric.
 package main
 
 import (
@@ -99,6 +102,10 @@ func main() {
 
 	if vm := d.VirtualMismatches(); vm > 0 {
 		fmt.Fprintf(os.Stderr, "packdiff: %d row(s) drifted on exact virtual metrics — correctness regression\n", vm)
+		os.Exit(1)
+	}
+	if len(d.ServiceDrift) > 0 {
+		fmt.Fprintf(os.Stderr, "packdiff: service object drifted on exact virtual metrics — correctness regression\n")
 		os.Exit(1)
 	}
 	if *failOnWall {

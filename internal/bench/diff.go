@@ -166,6 +166,12 @@ type Diff struct {
 	// lacks (e.g. v5's plan_repeat against a v4 baseline) and aggregate
 	// rows over differing experiment grids.
 	SkewNotes []string
+	// ServiceDrift lists exact-metric mismatches of the v7 service
+	// object when both reports carry one under the same configuration.
+	// Service figures are virtual-time and seed-deterministic, so any
+	// entry here is a correctness regression of the serving layer or
+	// the cost model — it fails the gate like per-row virtual drift.
+	ServiceDrift []string
 }
 
 // VirtualMismatches counts rows whose exact-class metrics drifted.
@@ -287,6 +293,21 @@ func DiffReports(old, new *PerfReport, opt DiffOptions) *Diff {
 		d.SkewNotes = append(d.SkewNotes, fmt.Sprintf(
 			"real_world object present only in the %s report (schema v6 field) — skipped, not compared", which))
 	}
+	// service (v7) is the serving-layer soak. Unlike plan_repeat and
+	// real_world it is deterministic virtual time, so when both sides
+	// carry it under the same configuration it is compared exactly; a
+	// presence or configuration mismatch is skew, warned and skipped.
+	switch ov, nv := old.Service != nil, new.Service != nil; {
+	case ov != nv:
+		which := "new"
+		if ov {
+			which = "old"
+		}
+		d.SkewNotes = append(d.SkewNotes, fmt.Sprintf(
+			"service object present only in the %s report (schema v7 field) — skipped, not compared", which))
+	case ov && nv:
+		d.diffService(old.Service, new.Service)
+	}
 	// Derived keys one side lacks are telemetry evolution (v6 added
 	// queue_depth_p99/park_rate to instrumented rows), not drift: one
 	// aggregated note instead of a per-row gate failure.
@@ -310,6 +331,50 @@ func DiffReports(old, new *PerfReport, opt DiffOptions) *Diff {
 			"schema skew: %s vs %s — fields the older schema lacks read as zero and are skipped", old.Schema, new.Schema))
 	}
 	return d
+}
+
+// diffService exact-compares two v7 service objects. A configuration
+// mismatch (different seed, load, or pool shape) makes them
+// incomparable — skew, not drift.
+func (d *Diff) diffService(old, new *ServicePerf) {
+	if old.Seed != new.Seed || old.Requests != new.Requests ||
+		old.Workers != new.Workers || old.Queue != new.Queue ||
+		old.RatePerSec != new.RatePerSec {
+		d.SkewNotes = append(d.SkewNotes, fmt.Sprintf(
+			"service objects ran different configurations (seed %d/%d, requests %d/%d, workers %d/%d, queue %d/%d) — skipped, not compared",
+			old.Seed, new.Seed, old.Requests, new.Requests, old.Workers, new.Workers, old.Queue, new.Queue))
+		return
+	}
+	drift := func(name string, ov, nv any) {
+		if ov != nv {
+			d.ServiceDrift = append(d.ServiceDrift, fmt.Sprintf("%s %v→%v", name, ov, nv))
+		}
+	}
+	drift("admitted", old.Admitted, new.Admitted)
+	drift("overloaded", old.Overloaded, new.Overloaded)
+	drift("duration_us", old.DurationUS, new.DurationUS)
+	drift("p50_us", old.P50US, new.P50US)
+	drift("p99_us", old.P99US, new.P99US)
+	drift("p999_us", old.P999US, new.P999US)
+	drift("sum_us", old.SumUS, new.SumUS)
+	oc := make(map[string]ServiceClassPerf, len(old.Classes))
+	for _, c := range old.Classes {
+		oc[c.Name] = c
+	}
+	for _, c := range new.Classes {
+		o, ok := oc[c.Name]
+		if !ok {
+			d.ServiceDrift = append(d.ServiceDrift, fmt.Sprintf("class %s only in new", c.Name))
+			continue
+		}
+		drift("class "+c.Name+" service_us", o.ServiceUS, c.ServiceUS)
+		drift("class "+c.Name+" arrivals", o.Arrivals, c.Arrivals)
+		delete(oc, c.Name)
+	}
+	for name := range oc {
+		d.ServiceDrift = append(d.ServiceDrift, fmt.Sprintf("class %s only in old", name))
+	}
+	sort.Strings(d.ServiceDrift)
 }
 
 func diffRow(old, new ExperimentPerf, opt DiffOptions) RowDiff {
@@ -416,6 +481,12 @@ func (d *Diff) WriteMarkdown(w io.Writer) {
 		d.Opt.Threshold*100, d.Opt.Alpha, d.WallRegressions())
 	if d.EnvDiffers {
 		fmt.Fprintf(w, "- **environments differ** — wall/alloc deltas may reflect the host, not the code\n")
+	}
+	if len(d.ServiceDrift) > 0 {
+		fmt.Fprintf(w, "- service metrics: **DRIFTED** — %s\n", strings.Join(d.ServiceDrift, "; "))
+	} else if d.Old.Service != nil && d.New.Service != nil {
+		fmt.Fprintf(w, "- service metrics: exact match (p50/p99/p999 %d/%d/%d µs)\n",
+			d.New.Service.P50US, d.New.Service.P99US, d.New.Service.P999US)
 	}
 	for _, note := range d.SkewNotes {
 		fmt.Fprintf(w, "- **skew**: %s\n", note)

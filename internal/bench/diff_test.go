@@ -311,3 +311,73 @@ func TestLoadPerfReportRejectsGarbage(t *testing.T) {
 		t.Fatal("non-JSON accepted")
 	}
 }
+
+// TestDiffServiceObject covers the v7 service soak object: exact
+// comparison when both reports carry the same configuration, drift
+// detection on any deterministic field, and warn-and-skip on presence
+// or configuration mismatches.
+func TestDiffServiceObject(t *testing.T) {
+	svc := func() *ServicePerf {
+		return &ServicePerf{
+			Seed: 1, Requests: 1_000_000, Admitted: 999_990, Overloaded: 10,
+			Workers: 8, Queue: 256, RatePerSec: 3749.6, DurationUS: 266_000_000,
+			ThroughputRPS: 3759.4, P50US: 1279, P99US: 5119, P999US: 6399,
+			SumUS: 1_634_823_001,
+			Classes: []ServiceClassPerf{
+				{Name: "s4-pack-sss", Weight: 4, ServiceUS: 762, Arrivals: 250_000},
+				{Name: "l8-unpack-sss", Weight: 1, ServiceUS: 4813, Arrivals: 62_000},
+			},
+		}
+	}
+	base := func(s *ServicePerf) *PerfReport {
+		return &PerfReport{Schema: PerfSchema, Experiments: []ExperimentPerf{
+			{ID: "fig3", WallMS: 1, VirtualMS: 5},
+		}, Total: ExperimentPerf{ID: "all", WallMS: 1, VirtualMS: 5}, Service: s}
+	}
+
+	// Identical service objects: exact match, no skew, no drift.
+	d := DiffReports(base(svc()), base(svc()), DiffOptions{})
+	if len(d.ServiceDrift) != 0 || len(d.SkewNotes) != 0 {
+		t.Fatalf("identical service objects: drift %v, skew %v", d.ServiceDrift, d.SkewNotes)
+	}
+	var md bytes.Buffer
+	d.WriteMarkdown(&md)
+	if !strings.Contains(md.String(), "service metrics: exact match") {
+		t.Fatalf("markdown missing service match line:\n%s", md.String())
+	}
+
+	// Presence mismatch: skew note, no drift (the older baseline
+	// predates the soak).
+	d = DiffReports(base(nil), base(svc()), DiffOptions{})
+	if len(d.ServiceDrift) != 0 {
+		t.Fatalf("presence mismatch treated as drift: %v", d.ServiceDrift)
+	}
+	if joined := strings.Join(d.SkewNotes, "\n"); !strings.Contains(joined, "service object present only in the new report") {
+		t.Fatalf("skew notes missing service presence note: %v", d.SkewNotes)
+	}
+
+	// A drifted deterministic field fails like virtual drift.
+	drifted := svc()
+	drifted.SumUS++
+	drifted.Classes[0].ServiceUS = 763
+	d = DiffReports(base(svc()), base(drifted), DiffOptions{})
+	if len(d.ServiceDrift) != 2 {
+		t.Fatalf("service drift entries = %v, want sum_us and class service_us", d.ServiceDrift)
+	}
+	md.Reset()
+	d.WriteMarkdown(&md)
+	if !strings.Contains(md.String(), "service metrics: **DRIFTED**") {
+		t.Fatalf("markdown missing service drift line:\n%s", md.String())
+	}
+
+	// Different configurations are incomparable: skew, never drift.
+	other := svc()
+	other.Requests = 50_000
+	d = DiffReports(base(svc()), base(other), DiffOptions{})
+	if len(d.ServiceDrift) != 0 {
+		t.Fatalf("config mismatch treated as drift: %v", d.ServiceDrift)
+	}
+	if joined := strings.Join(d.SkewNotes, "\n"); !strings.Contains(joined, "different configurations") {
+		t.Fatalf("skew notes missing config note: %v", d.SkewNotes)
+	}
+}

@@ -148,11 +148,12 @@ func TestTraceDirDumpsParse(t *testing.T) {
 // runs carry per-experiment derived means: machine executions happen in
 // the prefetch phase, so its perf line gets a derived object while the
 // pure-replay line (zero machine runs) gets none. (The derived object
-// is a v3 feature; v4 added sampling, v5 plan caching, and v6 the
-// real_world telemetry object on top without touching it.)
+// is a v3 feature; v4 added sampling, v5 plan caching, v6 the
+// real_world telemetry object, and v7 the service soak object on top
+// without touching it.)
 func TestPerfReportDerived(t *testing.T) {
-	if PerfSchema != "packbench-perf/v6" {
-		t.Fatalf("PerfSchema = %q, want packbench-perf/v6", PerfSchema)
+	if PerfSchema != "packbench-perf/v7" {
+		t.Fatalf("PerfSchema = %q, want packbench-perf/v7", PerfSchema)
 	}
 
 	s := NewSuite(true, 1)

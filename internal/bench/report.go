@@ -62,7 +62,21 @@ import (
 // cmd/packdiff warns-and-skips real_world and the new derived keys when
 // only one side carries them. v1–v5 files still parse; v5 consumers that
 // ignore unknown keys still parse v6.
-const PerfSchema = "packbench-perf/v6"
+//
+// v7: the serving layer. A run that included the service soak
+// (packbench -service N) carries a top-level "service" object — the
+// loadgen harness's deterministic report: seeded Poisson arrivals over
+// the class mix, the discrete-event model of the admission queue
+// (workers, bounded FIFO, rejections), and the resulting virtual-time
+// latency quantiles (p50/p99/p999), throughput, and SumUS checksum,
+// plus each class's warm plan-cached virtual service time. Like all
+// virtual metrics these are bit-for-bit reproducible from the seed and
+// compared exactly by cmd/packdiff when both files carry them;
+// packdiff warns-and-skips the object when only one side has it. Every
+// pre-existing row is untouched — sim-backend rows stay bit-for-bit
+// comparable with v6 baselines. v1–v6 files still parse; v6 consumers
+// that ignore unknown keys still parse v7.
+const PerfSchema = "packbench-perf/v7"
 
 // Environment is the perf report's measurement-environment record: the
 // host fingerprint plus the knobs of this run that move wall-clock
@@ -118,6 +132,43 @@ type PerfReport struct {
 	// older files. Its wall figures are host measurements — cmd/packdiff
 	// notes its presence but never diffs it numerically.
 	RealWorld *RealWorldResult `json:"real_world,omitempty"`
+	// Service is the serving-layer soak report (schema v7), attached
+	// when the run included the packserve/loadgen service measurement
+	// (packbench -service); nil otherwise and in older files. All its
+	// figures are virtual-time and deterministic from the seed, so
+	// cmd/packdiff compares them exactly when both sides carry them.
+	Service *ServicePerf `json:"service,omitempty"`
+}
+
+// ServicePerf is the deterministic report of the serving-layer soak
+// (schema v7): the loadgen discrete-event model of internal/serve's
+// admission queue under seeded Poisson traffic. Mirrors
+// loadgen.Result's deterministic half without importing it (bench
+// stays below the service layer).
+type ServicePerf struct {
+	Seed          uint64             `json:"seed"`
+	Requests      int                `json:"requests"`
+	Admitted      int                `json:"admitted"`
+	Overloaded    int                `json:"overloaded"`
+	Workers       int                `json:"workers"`
+	Queue         int                `json:"queue"`
+	RatePerSec    float64            `json:"rate_per_sec"`
+	DurationUS    uint64             `json:"duration_us"`
+	ThroughputRPS float64            `json:"throughput_rps"`
+	P50US         int64              `json:"p50_us"`
+	P99US         int64              `json:"p99_us"`
+	P999US        int64              `json:"p999_us"`
+	SumUS         uint64             `json:"sum_us"`
+	Classes       []ServiceClassPerf `json:"classes"`
+}
+
+// ServiceClassPerf is one workload class of the service soak: its mix
+// weight, measured warm virtual service time, and arrival share.
+type ServiceClassPerf struct {
+	Name      string `json:"name"`
+	Weight    int    `json:"weight"`
+	ServiceUS uint64 `json:"service_us"`
+	Arrivals  int    `json:"arrivals"`
 }
 
 // WallStats holds the robust aggregates of a row's repeated wall-clock

@@ -275,12 +275,65 @@ func realWorldChart(files []*File) (chart, bool) {
 	}
 	ss := []series{model, meas}
 	return chart{
-		Title: fmt.Sprintf("Real-backend speedup (%s): N=%d, W=%d, density %s", src.Label, rw.N, rw.W, fmtNum(rw.Density)),
-		SVG:   lineChartSVG("real backend speedup", "×", xs, ss),
+		Title:  fmt.Sprintf("Real-backend speedup (%s): N=%d, W=%d, density %s", src.Label, rw.N, rw.W, fmtNum(rw.Density)),
+		SVG:    lineChartSVG("real backend speedup", "×", xs, ss),
 		Legend: ss,
 		Caption: fmt.Sprintf("Measured wall-clock speedup on the shared-memory backend against the emulator's cost-model prediction; "+
 			"%d reps × %d samples on a %d-CPU host. Host figures — never bit-for-bit comparable.", rw.Reps, rw.Samples, rw.HostCPUs),
 		Head: head,
+		Rows: rows,
+	}, true
+}
+
+// serviceChart builds the serving-latency trend over the baselines
+// that carry a service soak object (schema v7+): the deterministic
+// virtual-time p50/p99/p999 of the open-loop traffic model, plus a
+// table of the soak configuration and per-class service times of the
+// newest such baseline.
+func serviceChart(files []*File) (chart, bool) {
+	var (
+		xs   []string
+		p50  = series{Name: "p50 µs", Slot: 1}
+		p99  = series{Name: "p99 µs", Slot: 2}
+		p999 = series{Name: "p999 µs", Slot: 3}
+		rows [][]string
+		last *File
+	)
+	for _, f := range files {
+		sv := f.Perf.Service
+		if sv == nil {
+			continue
+		}
+		last = f
+		xs = append(xs, f.Label)
+		p50.Values = append(p50.Values, float64(sv.P50US))
+		p99.Values = append(p99.Values, float64(sv.P99US))
+		p999.Values = append(p999.Values, float64(sv.P999US))
+		rows = append(rows, []string{
+			f.Label, strconv.Itoa(sv.Requests), strconv.Itoa(sv.Overloaded),
+			fmtNum(sv.RatePerSec), fmtNum(sv.ThroughputRPS),
+			strconv.FormatInt(sv.P50US, 10), strconv.FormatInt(sv.P99US, 10),
+			strconv.FormatInt(sv.P999US, 10),
+		})
+	}
+	if len(xs) == 0 {
+		return chart{}, false
+	}
+	sv := last.Perf.Service
+	for _, c := range sv.Classes {
+		rows = append(rows, []string{
+			last.Label + " · " + c.Name, strconv.Itoa(c.Arrivals), "—", "—", "—",
+			"—", "—", strconv.FormatUint(c.ServiceUS, 10),
+		})
+	}
+	ss := []series{p50, p99, p999}
+	return chart{
+		Title:  fmt.Sprintf("Serving latency (service soak, %d workers, queue %d)", sv.Workers, sv.Queue),
+		SVG:    lineChartSVG("serving latency trend", "µs", xs, ss),
+		Legend: ss,
+		Caption: "Virtual-time request latency of the open-loop packserve soak — deterministic for a seed, so cmd/packdiff " +
+			"compares it exactly; per-class rows tabulate the newest baseline's warm service time in the last column.",
+		Head: []string{"baseline / class", "requests", "overloaded", "offered rps", "throughput rps", "p50 µs", "p99 µs", "p999 µs"},
 		Rows: rows,
 	}, true
 }
@@ -358,6 +411,11 @@ func WriteHTML(w io.Writer, title string, files []*File) error {
 
 	if c, ok := realWorldChart(files); ok {
 		sb.WriteString("<h2>Real-backend speedup</h2>\n")
+		writeChart(&sb, c)
+	}
+
+	if c, ok := serviceChart(files); ok {
+		sb.WriteString("<h2>Serving traffic</h2>\n")
 		writeChart(&sb, c)
 	}
 

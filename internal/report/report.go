@@ -1,11 +1,12 @@
 // Package report renders packbench perf baselines (BENCH_*.json,
-// schema packbench-perf/v1 through v6) into one self-contained static
+// schema packbench-perf/v1 through v7) into one self-contained static
 // HTML dashboard: wall-clock and virtual-time trends across baselines,
 // derived-telemetry trends, plan-cache amortization, the paper's
-// scheme-crossover model, and the real-backend speedup curve when a
-// baseline carries one. The output is deterministic byte-for-byte for
-// the same inputs (no timestamps, sorted iteration), which is what
-// makes it golden-testable.
+// scheme-crossover model, the real-backend speedup curve, and the
+// serving-latency trend when a baseline carries the v7 service soak
+// object. The output is deterministic byte-for-byte for the same
+// inputs (no timestamps, sorted iteration), which is what makes it
+// golden-testable.
 package report
 
 import (
@@ -28,7 +29,7 @@ type File struct {
 	Perf   bench.PerfReport
 }
 
-// Load reads one BENCH_*.json baseline. Every schema era v1–v6 decodes
+// Load reads one BENCH_*.json baseline. Every schema era v1–v7 decodes
 // into the current bench.PerfReport superset: fields a vintage lacks
 // read as zero values, which the renderer treats as "not measured"
 // rather than zero measurements.

@@ -18,6 +18,7 @@ func loadFixtures(t *testing.T) []*File {
 		filepath.Join("testdata", "BENCH_v1.json"),
 		filepath.Join("testdata", "BENCH_v4.json"),
 		filepath.Join("testdata", "BENCH_v6.json"),
+		filepath.Join("testdata", "BENCH_v7.json"),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +28,8 @@ func loadFixtures(t *testing.T) []*File {
 
 // TestGoldenDashboard pins the full rendered page — every chart path
 // the fixtures can reach (v1 with bare rows, v4 with derived telemetry
-// and wall stats, v6 with plan_repeat and real_world) — against a
+// and wall stats, v6 with plan_repeat and real_world, v7 with the
+// service soak object) — against a
 // golden file, which is also the determinism proof: any nondeterminism
 // in map iteration or float formatting shows up as golden drift.
 func TestGoldenDashboard(t *testing.T) {
@@ -75,6 +77,7 @@ func TestGoldenDashboardSections(t *testing.T) {
 		"<h2>Plan-cache amortization</h2>",
 		"<h2>Scheme crossover model</h2>",
 		"<h2>Real-backend speedup</h2>",
+		"<h2>Serving traffic</h2>",
 		"prefers-color-scheme: dark", // dark palette is selected, not flipped
 		"Table view",                 // every chart ships its numbers
 		"var(--s3)",                  // three-series charts use the full slot order
@@ -94,7 +97,7 @@ func TestGoldenDashboardSections(t *testing.T) {
 }
 
 // TestRendersRepoBaselines loads every committed BENCH_*.json at the
-// repo root — the real schema-era sequence v1..v6 — and renders them,
+// repo root — the real schema-era sequence v1..v7 — and renders them,
 // proving the loader is tolerant of each vintage as shipped, not just
 // of the hand-written fixtures.
 func TestRendersRepoBaselines(t *testing.T) {
@@ -122,6 +125,9 @@ func TestRendersRepoBaselines(t *testing.T) {
 	}
 	if strings.Contains(out, "Real-backend speedup") {
 		t.Error("no committed baseline carries real_world; the section should be absent")
+	}
+	if !strings.Contains(out, "Serving traffic") {
+		t.Error("the v7 baseline carries a service object; the serving-traffic section should render")
 	}
 }
 

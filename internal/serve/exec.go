@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+
+	"packunpack/internal/dist"
+	"packunpack/internal/pack"
+	"packunpack/internal/transport"
+)
+
+// runJob executes one job as a full SPMD machine run: scatter the
+// global inputs over the processors, run the distributed algorithm,
+// gather the result into freshly allocated response buffers. The
+// machine is owned by the calling worker; plans is the tenant's shared
+// cache (nil disables planning).
+func runJob(m transport.Machine, job *Job, plans *pack.PlanCache) (*Response, error) {
+	l := job.Layout
+	procs := l.Procs()
+	locals := dist.Scatter(l, job.Global)
+	maskLocals := dist.Scatter(l, job.Mask)
+	opt := pack.Options{Scheme: job.Scheme, VectorW: job.VectorW, Plans: plans}
+	resp := &Response{}
+
+	switch job.Kind {
+	case JobPack:
+		results := make([]*pack.Result[int], procs)
+		err := m.Run(func(ep transport.Endpoint) {
+			r, err := pack.Pack(ep, l, locals[ep.Rank()], maskLocals[ep.Rank()], opt)
+			if err != nil {
+				panic(err)
+			}
+			results[ep.Rank()] = r
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: pack job: %w", err)
+		}
+		count := results[0].Ranking.Size
+		out := make([]int, count)
+		for rank, r := range results {
+			for i, v := range r.V {
+				out[r.Vec.ToGlobal(rank, i)] = v
+			}
+		}
+		resp.Vector, resp.Count = out, count
+
+	case JobUnpack:
+		// CMS is PACK-only (the paper defines no CMS UNPACK); fall back
+		// to CSS exactly like the library's benchmarks do.
+		if opt.Scheme == pack.SchemeCMS {
+			opt.Scheme = pack.SchemeCSS
+		}
+		nPrime := len(job.Vector)
+		vdist, err := dist.NewVectorDist(nPrime, procs, job.VectorW)
+		if err != nil {
+			return nil, fmt.Errorf("%w: input vector distribution: %v", ErrBadJob, err)
+		}
+		outs := make([][]int, procs)
+		counts := make([]int, procs)
+		err = m.Run(func(ep transport.Endpoint) {
+			rank := ep.Rank()
+			lv := make([]int, vdist.LocalLen(rank))
+			for i := range lv {
+				lv[i] = job.Vector[vdist.ToGlobal(rank, i)]
+			}
+			r, err := pack.Unpack(ep, l, lv, nPrime, maskLocals[rank], locals[rank], opt)
+			if err != nil {
+				panic(err)
+			}
+			outs[rank] = r.A
+			counts[rank] = r.Ranking.Size
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: unpack job: %w", err)
+		}
+		resp.Array = dist.Gather(l, outs)
+		resp.Count = counts[0]
+	}
+
+	// Two-clock rule: the virtual makespan is meaningful (and
+	// deterministic) on the sim backend only; the real backend's
+	// MaxClock is wall time, which Response.Service already carries.
+	if m.Backend() == transport.BackendSim {
+		resp.VirtualUS = m.MaxClock()
+	}
+	return resp, nil
+}

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"packunpack/internal/metrics"
+	"packunpack/internal/pack"
+	"packunpack/internal/sim"
+	"packunpack/internal/transport"
+)
+
+// Config describes a service instance.
+type Config struct {
+	// Workers is the shared worker-pool size: how many jobs execute
+	// concurrently. Each worker runs one whole machine at a time (the
+	// machine itself may spawn P processor goroutines on the real
+	// backend). 0 defaults to GOMAXPROCS.
+	Workers int
+	// Queue is the admission-queue capacity: jobs admitted but not yet
+	// picked up by a worker. A Submit that finds the queue full is
+	// rejected with ErrOverloaded — the open-loop overload contract.
+	// 0 defaults to 64.
+	Queue int
+	// Backend selects the transport every job's machine runs on:
+	// BackendSim (virtual clock, deterministic, the default) or
+	// BackendReal (host-parallel, wall clock).
+	Backend transport.Backend
+	// Sched is the sim backend's scheduling mode (ignored by the real
+	// backend). SchedCooperative gives per-job deterministic virtual
+	// makespans.
+	Sched sim.Sched
+	// Params are the cost-model constants each machine carries.
+	Params sim.Params
+	// Metrics, when non-nil, instruments the service (and every
+	// machine it runs): job counters, queue depth, wall-clock latency
+	// histograms, virtual-makespan histogram. Attaching a registry
+	// never changes any response byte or virtual time — the PR 8
+	// invariant, extended to the service path and pinned by a test.
+	Metrics *metrics.Registry
+	// Chaos, when non-nil, is the opt-in chaos mode: every sim machine
+	// runs under this deterministic fault-injection plan. Jobs then
+	// either succeed byte-identically (the reliable transport absorbs
+	// the faults) or fail with a structured FaultBudgetError; they can
+	// never corrupt another job's result (each job owns its buffers).
+	// Rejected with the real backend, like sim.Config.Faults.
+	Chaos *sim.FaultConfig
+	// DisablePlans turns the per-tenant plan caches off (every job
+	// ranks from scratch). Mostly for A/B tests.
+	DisablePlans bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	return c
+}
+
+// task is one admitted job in flight.
+type task struct {
+	job       *Job
+	fut       *Future
+	submitted time.Time
+}
+
+// Future is the handle Submit returns: wait on it for the job's
+// response. Safe to Wait from multiple goroutines.
+type Future struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// Wait blocks until the job completes and returns its response or
+// execution error.
+func (f *Future) Wait() (*Response, error) {
+	<-f.done
+	return f.resp, f.err
+}
+
+// Done returns a channel closed when the job has completed.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+func (f *Future) complete(resp *Response, err error) {
+	f.resp, f.err = resp, err
+	close(f.done)
+}
+
+// Server multiplexes PACK/UNPACK jobs over a shared worker pool.
+type Server struct {
+	cfg   Config
+	queue chan *task
+
+	mu     sync.RWMutex // guards closed vs. in-flight Submits
+	closed bool
+	wg     sync.WaitGroup
+
+	tenants sync.Map // tenant name -> *pack.PlanCache
+
+	depth       atomic.Int64 // jobs admitted but not yet started
+	ewmaSvcUS   atomic.Int64 // EWMA of wall service time, microseconds
+	jobsStarted atomic.Int64
+
+	// Metric handles; all nil-safe no-ops without a registry.
+	mJobs     *metrics.CounterVec
+	mOverload *metrics.Counter
+	mDepth    *metrics.Gauge
+	mDepthHW  *metrics.Gauge
+	mLatency  *metrics.HistogramVec
+	mVirtual  *metrics.Histogram
+}
+
+// New builds and starts a server: its workers are running and Submit
+// is ready. Close drains it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Chaos != nil && cfg.Backend == transport.BackendReal {
+		return nil, fmt.Errorf("serve: chaos mode is sim-only (fault injection needs the emulator's omniscient network)")
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *task, cfg.Queue),
+	}
+	r := cfg.Metrics
+	s.mJobs = r.Counter("serve_jobs_total", "jobs completed by the service", "tenant", "kind", "outcome")
+	s.mOverload = r.Counter("serve_overloaded_total", "submissions rejected by admission control").With()
+	s.mDepth = r.Gauge("serve_queue_depth", "jobs admitted but not yet started").With()
+	s.mDepthHW = r.Gauge("serve_queue_depth_hw", "admission-queue high-water mark").With()
+	s.mLatency = r.Histogram("serve_latency_us", "wall-clock job latency by stage, microseconds", "stage")
+	s.mVirtual = r.Histogram("serve_virtual_us", "virtual machine makespan per job, microseconds (sim backend)").With()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// validate rejects malformed jobs before admission.
+func (j *Job) validate() error {
+	if j == nil || j.Layout == nil {
+		return fmt.Errorf("%w: nil job or layout", ErrBadJob)
+	}
+	n := j.Layout.GlobalSize()
+	if len(j.Global) != n {
+		return fmt.Errorf("%w: global array has %d elements, layout %d", ErrBadJob, len(j.Global), n)
+	}
+	if len(j.Mask) != n {
+		return fmt.Errorf("%w: mask has %d elements, layout %d", ErrBadJob, len(j.Mask), n)
+	}
+	if j.Kind != JobPack && j.Kind != JobUnpack {
+		return fmt.Errorf("%w: unknown kind %v", ErrBadJob, j.Kind)
+	}
+	return nil
+}
+
+// Submit validates and admits a job. It never blocks: a full admission
+// queue rejects with *ErrOverloaded (deterministically — the queue
+// capacity is fixed and the check is a single non-blocking attempt),
+// a closed server with ErrClosed. On success the returned Future
+// resolves when the job completes.
+func (s *Server) Submit(job *Job) (*Future, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	t := &task{job: job, fut: &Future{done: make(chan struct{})}, submitted: time.Now()}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- t:
+		d := s.depth.Add(1)
+		s.mDepth.Set(d)
+		s.mDepthHW.SetMax(d)
+		return t.fut, nil
+	default:
+		s.mOverload.Inc()
+		return nil, &ErrOverloaded{
+			Queued:     cap(s.queue),
+			Capacity:   cap(s.queue),
+			RetryAfter: s.retryAfter(),
+		}
+	}
+}
+
+// retryAfter estimates how long until a queue slot frees: the backlog
+// ahead of a retry, served at the pool's observed per-job rate. Before
+// any job has completed the estimate falls back to one millisecond.
+func (s *Server) retryAfter() time.Duration {
+	per := time.Duration(s.ewmaSvcUS.Load()) * time.Microsecond
+	if per <= 0 {
+		per = time.Millisecond
+	}
+	backlog := int(s.depth.Load()) + s.cfg.Workers // queued + possibly in service
+	return per * time.Duration(1+backlog/s.cfg.Workers)
+}
+
+// Close stops admission and drains: every admitted job still runs to
+// completion (its Future resolves) before Close returns. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// TenantPlanStats returns the plan-cache counters of one tenant's
+// shared cache (zero when the tenant has no cache yet or plans are
+// disabled).
+func (s *Server) TenantPlanStats(tenant string) pack.PlanCacheStats {
+	if v, ok := s.tenants.Load(tenant); ok {
+		return v.(*pack.PlanCache).Stats()
+	}
+	return pack.PlanCacheStats{}
+}
+
+// planCacheFor resolves the tenant's shared plan cache.
+func (s *Server) planCacheFor(tenant string) *pack.PlanCache {
+	if s.cfg.DisablePlans {
+		return nil
+	}
+	if v, ok := s.tenants.Load(tenant); ok {
+		return v.(*pack.PlanCache)
+	}
+	v, _ := s.tenants.LoadOrStore(tenant, pack.NewPlanCache())
+	return v.(*pack.PlanCache)
+}
+
+// machineFor reuses (or builds) the worker-local machine for a given
+// processor count. Machines are per worker, never shared: Machine.Run
+// must not be called concurrently.
+func (s *Server) machineFor(cache map[int]transport.Machine, procs int) (transport.Machine, error) {
+	if m, ok := cache[procs]; ok {
+		return m, nil
+	}
+	m, err := transport.New(s.cfg.Backend, sim.Config{
+		Procs:   procs,
+		Params:  s.cfg.Params,
+		Sched:   s.cfg.Sched,
+		Metrics: s.cfg.Metrics,
+		Faults:  s.cfg.Chaos,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cache[procs] = m
+	return m, nil
+}
+
+// worker drains the admission queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	machines := make(map[int]transport.Machine)
+	for t := range s.queue {
+		d := s.depth.Add(-1)
+		s.mDepth.Set(d)
+		start := time.Now()
+		if t.job.gate != nil {
+			<-t.job.gate
+		}
+		s.jobsStarted.Add(1)
+
+		resp, err := s.execute(machines, t.job)
+
+		svc := time.Since(start)
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		} else {
+			resp.Queue = start.Sub(t.submitted)
+			resp.Service = svc
+			s.mLatency.With("queue").Observe(resp.Queue.Microseconds())
+			s.mLatency.With("service").Observe(svc.Microseconds())
+			s.mLatency.With("total").Observe((resp.Queue + svc).Microseconds())
+			s.mVirtual.Observe(int64(resp.VirtualUS))
+		}
+		s.mJobs.With(t.job.Tenant, t.job.Kind.String(), outcome).Inc()
+		s.noteService(svc)
+		t.fut.complete(resp, err)
+	}
+}
+
+// execute runs one job on the worker's machine, rebuilding the machine
+// after an errored run (an aborted machine may hold residual state; a
+// fresh one is cheap and provably clean).
+func (s *Server) execute(machines map[int]transport.Machine, job *Job) (*Response, error) {
+	procs := job.Layout.Procs()
+	m, err := s.machineFor(machines, procs)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := runJob(m, job, s.planCacheFor(job.Tenant))
+	if err != nil {
+		delete(machines, procs)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// noteService folds one wall service time into the EWMA (alpha 1/8)
+// behind the RetryAfter hint.
+func (s *Server) noteService(svc time.Duration) {
+	us := svc.Microseconds()
+	if us <= 0 {
+		us = 1
+	}
+	old := s.ewmaSvcUS.Load()
+	if old == 0 {
+		s.ewmaSvcUS.CompareAndSwap(0, us)
+		return
+	}
+	s.ewmaSvcUS.CompareAndSwap(old, old+(us-old)/8)
+}

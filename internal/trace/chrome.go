@@ -47,7 +47,8 @@ type chromeArgs struct {
 	Dst   *int   `json:"dst,omitempty"`
 	Tag   *int   `json:"tag,omitempty"`
 	Words *int   `json:"words,omitempty"`
-	Ops   *int64 `json:"ops,omitempty"` // charge batches
+	Ops   *int64 `json:"ops,omitempty"`     // charge batches
+	Wait  *int64 `json:"wait_us,omitempty"` // service spans: queue wait
 }
 
 // chromeFile is the top-level JSON object.

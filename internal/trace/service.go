@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file exports a service-level schedule — the loadgen harness's
+// per-request spans — in the same Chrome trace-event JSON format as
+// WriteChrome, one thread track per service worker instead of per
+// processor. Timestamps are the harness's virtual microseconds, so a
+// deterministic run exports a byte-stable file (pinned by a golden
+// test, like the machine-level exporter).
+
+// ServiceSpan is one request's life in the service queue: admitted at
+// ArrivalUS, started on Worker at StartUS, finished at DoneUS. The
+// struct mirrors loadgen.Span without importing it, keeping this
+// package free of service dependencies.
+type ServiceSpan struct {
+	Class     string
+	Worker    int
+	ArrivalUS uint64
+	StartUS   uint64
+	DoneUS    uint64
+}
+
+// WriteServiceChrome writes the spans as Chrome trace-event JSON: one
+// "X" slice per request on its worker's track, with the queue wait
+// carried in args (the viewers show it in the slice details). Spans
+// are written in the order given — the harness emits them in start
+// order per worker, which the viewers accept on any order anyway.
+func WriteServiceChrome(w io.Writer, spans []ServiceSpan) error {
+	workers := 0
+	for _, s := range spans {
+		if s.Worker >= workers {
+			workers = s.Worker + 1
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans)+workers+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: &chromeArgs{Name: "packserve"},
+	})
+	for tid := 0; tid < workers; tid++ {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: &chromeArgs{Name: fmt.Sprintf("worker %d", tid)},
+		})
+	}
+	for _, s := range spans {
+		args := &chromeArgs{Kind: "request"}
+		if wait := int64(s.StartUS - s.ArrivalUS); wait > 0 {
+			args.Wait = int64p(wait)
+		}
+		events = append(events, chromeEvent{
+			Name: s.Class, Cat: "service", Ph: "X",
+			Ts: float64(s.StartUS), Dur: float64(s.DoneUS - s.StartUS),
+			Pid: 0, Tid: s.Worker,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{DisplayTimeUnit: "ms", TraceEvents: events})
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteServiceChromeGolden pins the byte-exact export of a small
+// service schedule, like the machine-level Chrome golden.
+func TestWriteServiceChromeGolden(t *testing.T) {
+	spans := []ServiceSpan{
+		{Class: "s4-pack-sss", Worker: 0, ArrivalUS: 10, StartUS: 10, DoneUS: 150},
+		{Class: "m8-unpack-css", Worker: 1, ArrivalUS: 20, StartUS: 25, DoneUS: 900},
+		{Class: "s4-pack-sss", Worker: 0, ArrivalUS: 100, StartUS: 150, DoneUS: 290},
+	}
+	var sb strings.Builder
+	if err := WriteServiceChrome(&sb, spans); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"displayTimeUnit":"ms","traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"packserve"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"worker 0"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":1,"args":{"name":"worker 1"}},` +
+		`{"name":"s4-pack-sss","cat":"service","ph":"X","ts":10,"dur":140,"pid":0,"tid":0,"args":{"kind":"request"}},` +
+		`{"name":"m8-unpack-css","cat":"service","ph":"X","ts":25,"dur":875,"pid":0,"tid":1,"args":{"kind":"request","wait_us":5}},` +
+		`{"name":"s4-pack-sss","cat":"service","ph":"X","ts":150,"dur":140,"pid":0,"tid":0,"args":{"kind":"request","wait_us":50}}` +
+		"]}\n"
+	if sb.String() != want {
+		t.Fatalf("export drift:\n got %s\nwant %s", sb.String(), want)
+	}
+}
+
+func TestWriteServiceChromeEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteServiceChrome(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents"`) {
+		t.Fatalf("empty export malformed: %s", sb.String())
+	}
+}
